@@ -1,0 +1,194 @@
+// Package cash is a complete reproduction of "Checking Array Bound
+// Violation Using Segmentation Hardware" (Lam & Chiueh, DSN 2005) as a
+// Go library.
+//
+// Cash performs array bound checking for free by giving every array its
+// own x86 segment: the segment-limit check the virtual-memory hardware
+// applies to each memory reference *is* the bound check. Because the
+// hardware feature (32-bit segmentation) is unusable from Go and dead on
+// modern CPUs, this library contains a faithful software model of the
+// whole stack: the segmentation and paging hardware (GDT/LDT,
+// selectors, shadow registers, the granularity bit), a cycle-modelled
+// x86-flavoured machine, the OS support (modify_ldt, the cash_modify_ldt
+// call gate, the user-space free list and 3-entry segment cache), a
+// mini-C compiler with three back ends (unchecked GCC, software-checked
+// BCC, segment-checked Cash), and the paper's entire benchmark suite.
+//
+// Quick start:
+//
+//	art, err := cash.Build(src, cash.ModeCash, cash.Options{})
+//	res, err := art.Run()
+//	if res.Violation != nil { /* overflow caught by segment hardware */ }
+//
+// Compare the three compilers on one program:
+//
+//	cmp, err := cash.Compare("kernel", src, cash.Options{})
+//	fmt.Printf("Cash +%.1f%%, BCC +%.1f%%\n",
+//		cmp.CashOverheadPct(), cmp.BCCOverheadPct())
+//
+// Regenerate a paper table:
+//
+//	tab, err := cash.Table("table1")
+//	fmt.Print(tab.Format())
+package cash
+
+import (
+	"fmt"
+
+	"cash/internal/bench"
+	"cash/internal/core"
+	"cash/internal/netsim"
+	"cash/internal/vm"
+	"cash/internal/workload"
+)
+
+// Mode selects one of the three compilers.
+type Mode = core.Mode
+
+// Compiler modes.
+const (
+	// ModeGCC compiles without bound checks (the baseline).
+	ModeGCC = core.ModeGCC
+	// ModeBCC compiles with software bound checks: 3-word fat pointers
+	// and the 6-instruction check sequence per reference.
+	ModeBCC = core.ModeBCC
+	// ModeCash compiles with segmentation-hardware bound checks: one
+	// segment per array, 2-word pointers, loop-hoisted segment loads.
+	ModeCash = core.ModeCash
+)
+
+// Options tunes a build; the zero value reproduces the paper's default
+// prototype (3 segment registers, read and write checks, call gate).
+type Options = core.Options
+
+// Artifact is a compiled program.
+type Artifact = core.Artifact
+
+// RunResult is the outcome of one execution, including any detected
+// bound violation.
+type RunResult = core.RunResult
+
+// Comparison holds a three-mode evaluation of one program.
+type Comparison = core.Comparison
+
+// LoopCharacteristics are the static per-program loop statistics of the
+// paper's characteristics tables.
+type LoopCharacteristics = core.LoopCharacteristics
+
+// OverheadConstants are the §4.1 fixed costs of the Cash mechanism.
+type OverheadConstants = core.OverheadConstants
+
+// Violation is a detected array bound violation (a segmentation #GP or a
+// failed software check). Returned inside RunResult.
+type Violation = vm.Fault
+
+// Workload is one program of the paper's benchmark suite.
+type Workload = workload.Workload
+
+// ResultTable is a formatted experiment result.
+type ResultTable = bench.Table
+
+// AppReport is one network application's Table 8 measurement.
+type AppReport = netsim.AppReport
+
+// Build parses, type-checks and compiles mini-C source for a mode.
+func Build(source string, mode Mode, opts Options) (*Artifact, error) {
+	return core.Build(source, mode, opts)
+}
+
+// Compare builds and runs source under GCC, BCC and Cash and reports
+// cycles, check counts and code sizes. It fails if the program output
+// differs between modes or a bound violation occurs.
+func Compare(name, source string, opts Options) (*Comparison, error) {
+	return core.Compare(name, source, opts)
+}
+
+// Characterize computes the static loop/array statistics of a program
+// under the given segment-register budget.
+func Characterize(source string, segRegBudget int) (LoopCharacteristics, error) {
+	return core.Characterize(source, segRegBudget)
+}
+
+// MeasureOverheadConstants measures the per-program, per-array and
+// per-array-use costs (§4.1) on the simulated machine.
+func MeasureOverheadConstants() (OverheadConstants, error) {
+	return core.MeasureOverheadConstants()
+}
+
+// Workloads returns the paper's full benchmark suite: 6 kernels
+// (Table 1), 6 macro applications (Tables 4-6), 6 network applications
+// (Tables 7-8), and the libc corpus.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadByName finds one benchmark program.
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// MeasureNetworkApp runs the paper's §4.4 experiment for one network
+// application: process-per-request latency, throughput and space
+// penalties of Cash over the unchecked baseline.
+func MeasureNetworkApp(w Workload, requests int, opts Options) (*AppReport, error) {
+	return netsim.Measure(w, requests, opts)
+}
+
+// Table regenerates one of the paper's tables or analyses by id:
+//
+//	table1 table2 table3 table4 table5 table6 table7 table8 table8bcc
+//	ablation-segregs bound detectors constants ldt cache segments figure2
+func Table(id string) (*ResultTable, error) {
+	switch id {
+	case "table1":
+		return bench.Table1(4)
+	case "table2":
+		return bench.Table2()
+	case "table3":
+		return bench.Table3()
+	case "table4":
+		return bench.Table4()
+	case "table5":
+		return bench.Table5()
+	case "table6":
+		return bench.Table6()
+	case "table7":
+		return bench.Table7()
+	case "table8":
+		return bench.Table8(netsim.DefaultRequests)
+	case "table8bcc":
+		return bench.Table8BCC(netsim.DefaultRequests)
+	case "ablation-segregs":
+		return bench.AblationSegRegs()
+	case "bound":
+		return bench.BoundInstrTable()
+	case "detectors":
+		return bench.DetectorTable()
+	case "constants":
+		return bench.ConstantsTable()
+	case "ldt":
+		return bench.LDTCostTable()
+	case "cache":
+		return bench.CacheTable()
+	case "segments":
+		return bench.SegmentsTable()
+	case "figure2":
+		return bench.Figure2Table()
+	default:
+		return nil, fmt.Errorf("cash: unknown table %q (see cash.Table doc)", id)
+	}
+}
+
+// TableIDs lists the ids accepted by Table, in paper order.
+func TableIDs() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"table7", "table8", "table8bcc",
+		"ablation-segregs", "bound", "detectors",
+		"constants", "ldt", "cache", "segments", "figure2",
+	}
+}
+
+// AllTables regenerates every table with the given request count for the
+// network experiment.
+func AllTables(requests int) ([]*ResultTable, error) { return bench.AllTables(requests) }
+
+// Figure1Trace renders the Figure 1 address-translation pipeline
+// (segmentation then paging) for a small traced program.
+func Figure1Trace() (string, error) { return bench.Figure1Trace() }

@@ -1,0 +1,131 @@
+package cash
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoOverflow = `
+int buf[8];
+void main() {
+	for (int i = 0; i <= 8; i++) {
+		buf[i] = i;
+	}
+}`
+
+const demoSafe = `
+int a[16];
+void main() {
+	int s = 0;
+	for (int r = 0; r < 20; r++) {
+		for (int i = 0; i < 16; i++) a[i] = i * r;
+		for (int i = 0; i < 16; i++) s += a[i];
+	}
+	printi(s);
+}`
+
+func TestPublicBuildRunCatchesOverflow(t *testing.T) {
+	art, err := Build(demoOverflow, ModeCash, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := art.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("segment hardware must catch the off-by-one overflow")
+	}
+	if !strings.Contains(res.Violation.Error(), "#GP") {
+		t.Fatalf("violation should be a #GP, got %v", res.Violation)
+	}
+}
+
+func TestPublicCompare(t *testing.T) {
+	cmp, err := Compare("demo", demoSafe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CashOverheadPct() >= cmp.BCCOverheadPct() {
+		t.Fatalf("cash %.1f%% must beat bcc %.1f%%",
+			cmp.CashOverheadPct(), cmp.BCCOverheadPct())
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if got := len(Workloads()); got != 19 {
+		t.Fatalf("workloads = %d, want 19", got)
+	}
+	if _, ok := WorkloadByName("apache"); !ok {
+		t.Fatal("apache workload missing")
+	}
+}
+
+func TestPublicTableDispatch(t *testing.T) {
+	for _, id := range []string{"constants", "ldt", "figure2"} {
+		tab, err := Table(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+	}
+	if _, err := Table("table99"); err == nil {
+		t.Fatal("unknown table id must error")
+	}
+	if len(TableIDs()) != 17 {
+		t.Fatalf("TableIDs = %d entries, want 17", len(TableIDs()))
+	}
+	for _, id := range TableIDs() {
+		if id == "table1" || id == "table8" {
+			continue // covered by the bench package tests; skip the slow ones here
+		}
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	oc, err := MeasureOverheadConstants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oc.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCharacterize(t *testing.T) {
+	ch, err := Characterize(demoSafe, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The outer repeat loop contains array references too, so all three
+	// loops count as array-using.
+	if ch.ArrayUsingLoops != 3 {
+		t.Fatalf("ArrayUsingLoops = %d, want 3", ch.ArrayUsingLoops)
+	}
+}
+
+func TestPublicFigure1Trace(t *testing.T) {
+	trace, err := Figure1Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace, "physical=") {
+		t.Fatal("trace must show the pipeline")
+	}
+}
+
+func TestPublicNetworkMeasure(t *testing.T) {
+	w, ok := WorkloadByName("bind")
+	if !ok {
+		t.Fatal("bind missing")
+	}
+	rep, err := MeasureNetworkApp(w, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LatencyPenaltyPct <= 0 {
+		t.Fatal("latency penalty must be positive")
+	}
+}

@@ -1,0 +1,79 @@
+// Command cashbench regenerates the tables and figures of the paper's
+// evaluation section from the simulated system.
+//
+// Usage:
+//
+//	cashbench -all [-requests 2000]    regenerate everything
+//	cashbench -table table1            one table (see -list)
+//	cashbench -figure1                 the translation-pipeline trace
+//	cashbench -list                    list table ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cash"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cashbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		all      = flag.Bool("all", false, "regenerate every table")
+		table    = flag.String("table", "", "regenerate one table by id")
+		figure1  = flag.Bool("figure1", false, "print the Figure 1 translation trace")
+		list     = flag.Bool("list", false, "list available table ids")
+		requests = flag.Int("requests", 2000, "request count for the network experiment")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(cash.TableIDs(), "\n"))
+		return nil
+
+	case *figure1:
+		out, err := cash.Figure1Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+
+	case *table != "":
+		tab, err := cash.Table(*table)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tab.Format())
+		return nil
+
+	case *all:
+		tabs, err := cash.AllTables(*requests)
+		if err != nil {
+			return err
+		}
+		for _, tab := range tabs {
+			fmt.Print(tab.Format())
+			fmt.Println()
+		}
+		out, err := cash.Figure1Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -table, -figure1 or -list")
+	}
+}

@@ -1,0 +1,96 @@
+// Command cashc compiles a mini-C source file under one of the three
+// compiler modes (gcc, bcc, cash) and prints the generated assembly
+// listing plus static statistics — the tool to inspect how Cash
+// instruments array references.
+//
+// Usage:
+//
+//	cashc [-mode gcc|bcc|cash] [-segregs 2|3|4] [-size] file.c
+//	cashc -workload matmul40 -mode cash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cash"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cashc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modeName = flag.String("mode", "cash", "compiler mode: gcc, bcc or cash")
+		segRegs  = flag.Int("segregs", 3, "segment register budget for cash mode (2, 3 or 4)")
+		sizeOnly = flag.Bool("size", false, "print only the code-size estimate")
+		wlName   = flag.String("workload", "", "compile a built-in workload instead of a file")
+	)
+	flag.Parse()
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		return err
+	}
+	source, name, err := loadSource(*wlName, flag.Args())
+	if err != nil {
+		return err
+	}
+	art, err := cash.Build(source, mode, cash.Options{SegRegs: *segRegs})
+	if err != nil {
+		return err
+	}
+	if *sizeOnly {
+		fmt.Printf("%s [%s]: %d bytes of text\n", name, mode, art.CodeSize())
+		return nil
+	}
+	fmt.Print(art.Disassemble())
+	fmt.Printf("\n# text size estimate: %d bytes\n", art.CodeSize())
+	stats := art.StaticStats()
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("# %s: %d\n", k, stats[k])
+	}
+	return nil
+}
+
+func parseMode(s string) (cash.Mode, error) {
+	switch s {
+	case "gcc":
+		return cash.ModeGCC, nil
+	case "bcc":
+		return cash.ModeBCC, nil
+	case "cash":
+		return cash.ModeCash, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func loadSource(wlName string, args []string) (source, name string, err error) {
+	if wlName != "" {
+		w, ok := cash.WorkloadByName(wlName)
+		if !ok {
+			return "", "", fmt.Errorf("unknown workload %q", wlName)
+		}
+		return w.Source, w.Name, nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("exactly one source file (or -workload) required")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(data), args[0], nil
+}

@@ -1,0 +1,136 @@
+// Command cashrun compiles and executes a mini-C program on the
+// simulated machine and reports cycles, check counts, segment activity
+// and — the point of the system — any array bound violation the
+// segmentation hardware caught.
+//
+// Usage:
+//
+//	cashrun [-mode gcc|bcc|cash] [-segregs N] [-compare] [-trace] file.c
+//	cashrun -workload toast -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cash"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cashrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modeName = flag.String("mode", "cash", "compiler mode: gcc, bcc or cash")
+		segRegs  = flag.Int("segregs", 3, "segment register budget for cash mode")
+		compare  = flag.Bool("compare", false, "run all three modes and compare")
+		trace    = flag.Bool("trace", false, "print the Figure-1 translation pipeline demo")
+		wlName   = flag.String("workload", "", "run a built-in workload instead of a file")
+	)
+	flag.Parse()
+
+	if *trace {
+		out, err := cash.Figure1Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+
+	source, name, err := loadSource(*wlName, flag.Args())
+	if err != nil {
+		return err
+	}
+	opts := cash.Options{SegRegs: *segRegs}
+
+	if *compare {
+		cmp, err := cash.Compare(name, source, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %12s cycles\n", "gcc", format(cmp.GCC.Cycles))
+		fmt.Printf("%-8s %12s cycles  (+%.1f%%)  hw=%d sw=%d segloads=%d\n",
+			"cash", format(cmp.Cash.Cycles), cmp.CashOverheadPct(),
+			cmp.Cash.Stats.HWChecks, cmp.Cash.Stats.SWChecks, cmp.Cash.Stats.SegRegLoads)
+		fmt.Printf("%-8s %12s cycles  (+%.1f%%)  sw=%d\n",
+			"bcc", format(cmp.BCC.Cycles), cmp.BCCOverheadPct(), cmp.BCC.Stats.SWChecks)
+		fmt.Printf("text     gcc=%dB cash=+%.1f%% bcc=+%.1f%%\n",
+			cmp.GCC.CodeSize, cmp.CashSizeOverheadPct(), cmp.BCCSizeOverheadPct())
+		return nil
+	}
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		return err
+	}
+	art, err := cash.Build(source, mode, opts)
+	if err != nil {
+		return err
+	}
+	res, err := art.Run()
+	if err != nil {
+		return err
+	}
+	for _, v := range res.Output {
+		fmt.Println(v)
+	}
+	fmt.Printf("# mode=%s cycles=%d instructions=%d hw-checks=%d sw-checks=%d\n",
+		mode, res.Cycles, res.Stats.Instructions, res.Stats.HWChecks, res.Stats.SWChecks)
+	fmt.Printf("# segments: peak-live=%d allocs=%d cache-hits=%d kernel-entries=%d\n",
+		res.LDTStats.PeakLive, res.LDTStats.AllocRequests,
+		res.LDTStats.CacheHits, res.LDTStats.KernelCalls)
+	if res.Violation != nil {
+		fmt.Printf("# ARRAY BOUND VIOLATION DETECTED: %v\n", res.Violation)
+		os.Exit(2)
+	}
+	return nil
+}
+
+func format(v uint64) string {
+	s := fmt.Sprintf("%d", v)
+	out := ""
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out += ","
+		}
+		out += string(c)
+	}
+	return out
+}
+
+func parseMode(s string) (cash.Mode, error) {
+	switch s {
+	case "gcc":
+		return cash.ModeGCC, nil
+	case "bcc":
+		return cash.ModeBCC, nil
+	case "cash":
+		return cash.ModeCash, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func loadSource(wlName string, args []string) (source, name string, err error) {
+	if wlName != "" {
+		w, ok := cash.WorkloadByName(wlName)
+		if !ok {
+			return "", "", fmt.Errorf("unknown workload %q", wlName)
+		}
+		return w.Source, w.Name, nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("exactly one source file (or -workload) required")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(data), args[0], nil
+}

@@ -1,0 +1,3 @@
+module cash
+
+go 1.22

@@ -1,0 +1,68 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section (§4) from the simulated system: the micro-benchmark
+// kernel comparison (Table 1), binary sizes (Tables 2 and 6), input-size
+// scaling (Table 3), macro-application characteristics and performance
+// (Tables 4 and 5), network-application characteristics and penalties
+// (Tables 7 and 8), the §4.1 overhead constants, the §3.6 kernel-entry
+// costs, the §4.2 segment-register ablation, the §4.5 segment-cache and
+// segment-budget analyses, and the Figure 1/Figure 2 demonstrations.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID      string // e.g. "table1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func pct(v float64) string    { return fmt.Sprintf("%.1f%%", v) }
+func kcycles(v uint64) string { return fmt.Sprintf("%dK", v/1000) }
+func checksCol(hw, sw uint64) string {
+	return fmt.Sprintf("%d/%d", hw, sw)
+}

@@ -1,0 +1,312 @@
+package codegen
+
+import (
+	"cash/internal/minic"
+	"cash/internal/x86seg"
+)
+
+// Loop/array analysis (§3.4, §3.7).
+//
+// Cash bound-checks array-like references *inside loops*. For each
+// outermost loop we collect the distinct array objects referenced anywhere
+// within it (nested loops included) in first-come-first-serve syntactic
+// order, and assign each to one of the available segment registers. Arrays
+// beyond the register budget are "spilled": their references fall back to
+// software bound checks against the object's info structure. An object is
+// identified by the declaration of the array variable or pointer variable
+// the reference goes through; references through computed pointers
+// (function results, nested derefs) cannot be pinned to a segment register
+// and always use the software path inside loops.
+//
+// A pointer variable that is wholesale-reassigned inside the loop (p = q,
+// as opposed to p++ or p += k, which stay within the same object) cannot
+// keep a segment register either, because the register would go stale; it
+// is excluded from assignment and its references are software-checked.
+
+// loopInfo is the analysis result for one outermost loop.
+type loopInfo struct {
+	// assigned maps array/pointer declarations to their segment register,
+	// in FCFS order.
+	assigned map[*minic.VarDecl]x86seg.SegReg
+	// order preserves the FCFS order of all distinct objects seen.
+	order []*minic.VarDecl
+	// spilled objects are checked in software.
+	spilled map[*minic.VarDecl]bool
+	// modified pointers are advanced inside the loop (p++, p += k): they
+	// stay within their object, so they keep their segment register, but
+	// the hoisted relative base cannot be used — references recompute the
+	// segment offset from the live pointer value and the hoisted lower
+	// bound.
+	modified map[*minic.VarDecl]bool
+	// distinct is the number of distinct array objects in the loop.
+	distinct int
+}
+
+// funcAnalysis is the analysis result for one function.
+type funcAnalysis struct {
+	// loops maps each outermost loop statement (*minic.WhileStmt or
+	// *minic.ForStmt) to its info.
+	loops map[minic.Stmt]*loopInfo
+	// segRegsUsed is the set of segment registers the function touches
+	// (for save/restore in the prologue/epilogue, §3.7).
+	segRegsUsed []x86seg.SegReg
+}
+
+// analyzeFunc walks a function body, finds outermost loops and performs
+// segment-register assignment with the given register budget.
+func analyzeFunc(fn *minic.FuncDecl, segRegs []x86seg.SegReg) *funcAnalysis {
+	fa := &funcAnalysis{loops: make(map[minic.Stmt]*loopInfo)}
+	used := make(map[x86seg.SegReg]bool)
+	var walk func(s minic.Stmt)
+	walk = func(s minic.Stmt) {
+		switch s := s.(type) {
+		case *minic.BlockStmt:
+			for _, sub := range s.Stmts {
+				walk(sub)
+			}
+		case *minic.IfStmt:
+			if s.Then != nil {
+				walk(s.Then)
+			}
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *minic.WhileStmt:
+			li := analyzeLoop(s.Body, nil, segRegs)
+			fa.loops[s] = li
+			for _, r := range li.assigned {
+				used[r] = true
+			}
+		case *minic.ForStmt:
+			li := analyzeLoop(s.Body, s, segRegs)
+			fa.loops[s] = li
+			for _, r := range li.assigned {
+				used[r] = true
+			}
+		}
+	}
+	walk(fn.Body)
+	for _, r := range segRegs {
+		if used[r] {
+			fa.segRegsUsed = append(fa.segRegsUsed, r)
+		}
+	}
+	return fa
+}
+
+// analyzeLoop collects array objects referenced within an outermost loop
+// (body plus, for a for-loop, its condition and post expressions) and
+// assigns segment registers FCFS.
+func analyzeLoop(body minic.Stmt, forStmt *minic.ForStmt, segRegs []x86seg.SegReg) *loopInfo {
+	li := &loopInfo{
+		assigned: make(map[*minic.VarDecl]x86seg.SegReg),
+		spilled:  make(map[*minic.VarDecl]bool),
+		modified: make(map[*minic.VarDecl]bool),
+	}
+	seen := make(map[*minic.VarDecl]bool)
+	reassigned := make(map[*minic.VarDecl]bool)
+
+	note := func(d *minic.VarDecl) {
+		if d == nil || seen[d] {
+			return
+		}
+		seen[d] = true
+		li.order = append(li.order, d)
+	}
+
+	var walkExpr func(e minic.Expr)
+	var walkStmt func(s minic.Stmt)
+
+	walkExpr = func(e minic.Expr) {
+		switch e := e.(type) {
+		case *minic.Index:
+			note(refObject(e.Base))
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *minic.Unary:
+			if e.Op == "*" {
+				note(refObject(e.X))
+			}
+			walkExpr(e.X)
+		case *minic.IncDec:
+			if v, ok := e.X.(*minic.VarRef); ok && v.Decl != nil &&
+				v.Decl.Type.Kind == minic.TypePointer {
+				li.modified[v.Decl] = true
+			}
+			walkExpr(e.X)
+		case *minic.Binary:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		case *minic.Assign:
+			// Wholesale reassignment of a pointer variable invalidates a
+			// segment register held over it.
+			if v, ok := e.LHS.(*minic.VarRef); ok && v.Decl != nil &&
+				v.Decl.Type.Kind == minic.TypePointer {
+				if e.Op == "=" {
+					reassigned[v.Decl] = true
+				} else {
+					li.modified[v.Decl] = true
+				}
+			}
+			walkExpr(e.LHS)
+			walkExpr(e.RHS)
+		case *minic.Call:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *minic.Cast:
+			walkExpr(e.X)
+		}
+	}
+	walkStmt = func(s minic.Stmt) {
+		switch s := s.(type) {
+		case *minic.BlockStmt:
+			for _, sub := range s.Stmts {
+				walkStmt(sub)
+			}
+		case *minic.DeclStmt:
+			for _, d := range s.Decls {
+				// A pointer declared inside the loop body has no value
+				// when the loop preamble runs, so it cannot hold a
+				// hoisted segment register: treat it like a reassigned
+				// pointer (software-checked).
+				if d.Type.Kind == minic.TypePointer {
+					reassigned[d] = true
+				}
+				if d.Init != nil {
+					walkExpr(d.Init)
+				}
+				for _, e := range d.InitList {
+					walkExpr(e)
+				}
+			}
+		case *minic.ExprStmt:
+			walkExpr(s.X)
+		case *minic.IfStmt:
+			walkExpr(s.Cond)
+			if s.Then != nil {
+				walkStmt(s.Then)
+			}
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *minic.WhileStmt:
+			walkExpr(s.Cond)
+			if s.Body != nil {
+				walkStmt(s.Body)
+			}
+		case *minic.ForStmt:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			if s.Cond != nil {
+				walkExpr(s.Cond)
+			}
+			if s.Post != nil {
+				walkExpr(s.Post)
+			}
+			if s.Body != nil {
+				walkStmt(s.Body)
+			}
+		case *minic.ReturnStmt:
+			if s.X != nil {
+				walkExpr(s.X)
+			}
+		}
+	}
+
+	if forStmt != nil {
+		if forStmt.Cond != nil {
+			walkExpr(forStmt.Cond)
+		}
+		if forStmt.Post != nil {
+			walkExpr(forStmt.Post)
+		}
+	}
+	if body != nil {
+		walkStmt(body)
+	}
+
+	li.distinct = len(li.order)
+	next := 0
+	for _, d := range li.order {
+		if reassigned[d] {
+			li.spilled[d] = true
+			continue
+		}
+		if next < len(segRegs) {
+			li.assigned[d] = segRegs[next]
+			next++
+		} else {
+			li.spilled[d] = true
+		}
+	}
+	return li
+}
+
+// refObject returns the declaration that identifies the array object a
+// reference goes through, or nil when the base is a computed expression.
+func refObject(base minic.Expr) *minic.VarDecl {
+	switch b := base.(type) {
+	case *minic.VarRef:
+		if b.Decl != nil && (b.Decl.Type.Kind == minic.TypeArray || b.Decl.Type.Kind == minic.TypePointer) {
+			return b.Decl
+		}
+	case *minic.Cast:
+		return refObject(b.X)
+	}
+	return nil
+}
+
+// LoopStats summarises the static loop characteristics the paper reports
+// in Tables 4 and 7.
+type LoopStats struct {
+	ArrayUsingLoops int // loops whose body references at least one array
+	SpilledLoops    int // loops with more than len(segRegs) distinct arrays
+}
+
+// AnalyzeLoopStats counts array-using loops and spilled loops over a whole
+// program, counting every loop (not just outermost), as the paper's
+// characteristics tables do.
+func AnalyzeLoopStats(prog *minic.Program, budget int) LoopStats {
+	var st LoopStats
+	var walkStmt func(s minic.Stmt)
+	countLoop := func(body minic.Stmt, forStmt *minic.ForStmt) {
+		li := analyzeLoop(body, forStmt, nil)
+		if li.distinct > 0 {
+			st.ArrayUsingLoops++
+		}
+		if li.distinct > budget {
+			st.SpilledLoops++
+		}
+	}
+	walkStmt = func(s minic.Stmt) {
+		switch s := s.(type) {
+		case *minic.BlockStmt:
+			for _, sub := range s.Stmts {
+				walkStmt(sub)
+			}
+		case *minic.IfStmt:
+			if s.Then != nil {
+				walkStmt(s.Then)
+			}
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *minic.WhileStmt:
+			countLoop(s.Body, nil)
+			if s.Body != nil {
+				walkStmt(s.Body)
+			}
+		case *minic.ForStmt:
+			countLoop(s.Body, s)
+			if s.Body != nil {
+				walkStmt(s.Body)
+			}
+		}
+	}
+	for _, fn := range prog.Funcs {
+		walkStmt(fn.Body)
+	}
+	return st
+}

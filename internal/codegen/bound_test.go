@@ -1,0 +1,122 @@
+package codegen
+
+import (
+	"errors"
+	"testing"
+
+	"cash/internal/vm"
+)
+
+// Tests for the bound-instruction checker variant (§2 ablation).
+
+const boundKernel = `
+int a[32];
+int b[32];
+void main() {
+	int s = 0;
+	for (int r = 0; r < 50; r++) {
+		for (int i = 0; i < 32; i++) a[i] = i * r;
+		for (int i = 0; i < 32; i++) s += a[i] + b[i];
+	}
+	printi(s);
+}`
+
+func TestBoundInstrSameOutput(t *testing.T) {
+	seqRes := mustRunMode(t, boundKernel, Config{Mode: vm.ModeBCC})
+	bndRes := mustRunMode(t, boundKernel, Config{Mode: vm.ModeBCC, UseBoundInstr: true})
+	if seqRes.Output[0] != bndRes.Output[0] {
+		t.Fatalf("outputs differ: %v vs %v", seqRes.Output, bndRes.Output)
+	}
+	if bndRes.Stats.BoundInstrs == 0 {
+		t.Fatal("bound variant must execute bound instructions")
+	}
+	if seqRes.Stats.BoundInstrs != 0 {
+		t.Fatal("sequence variant must not execute bound instructions")
+	}
+	// Both variants perform the same number of logical checks.
+	if seqRes.Stats.SWChecks != bndRes.Stats.SWChecks {
+		t.Fatalf("check counts differ: %d vs %d", seqRes.Stats.SWChecks, bndRes.Stats.SWChecks)
+	}
+	// §2: bound costs 7 cycles against the 6-cycle sequence, so on a
+	// check-dominated kernel the bound variant is slower.
+	if bndRes.Cycles <= seqRes.Cycles {
+		t.Fatalf("bound (%d cycles) must lose to the sequence (%d cycles)",
+			bndRes.Cycles, seqRes.Cycles)
+	}
+}
+
+func TestBoundInstrDetects(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{name: "global array overflow", src: `
+int a[8];
+void main() { for (int i = 0; i <= 8; i++) a[i] = i; }`},
+		{name: "heap overflow", src: `
+void main() {
+	int *p = malloc(16);
+	for (int i = 0; i < 8; i++) p[i] = i;
+}`},
+		{name: "underflow", src: `
+int a[8];
+void main() { for (int i = 0; i < 2; i++) a[i-1] = i; }`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := runMode(t, tt.src, Config{Mode: vm.ModeBCC, UseBoundInstr: true})
+			var f *vm.Fault
+			if !errors.As(err, &f) || f.Kind != vm.FaultSoftwareCheck {
+				t.Fatalf("want bound-instruction violation, got %v", err)
+			}
+		})
+	}
+}
+
+func TestBoundInstrCashSpillPath(t *testing.T) {
+	// Five arrays against three registers: the spilled arrays check via
+	// the info structure; with UseBoundInstr those checks use bound.
+	src := `
+int a[4]; int b[4]; int c[4]; int d[4]; int e[4];
+void main() {
+	for (int i = 0; i < 4; i++) {
+		a[i] = i; b[i] = i; c[i] = i; d[i] = i; e[i] = i;
+	}
+	printi(a[0] + e[3]);
+}`
+	res := mustRunMode(t, src, Config{Mode: vm.ModeCash, UseBoundInstr: true})
+	if res.Stats.BoundInstrs == 0 {
+		t.Fatal("spilled Cash checks must use bound")
+	}
+	if res.Stats.HWChecks == 0 {
+		t.Fatal("assigned arrays must stay on the hardware path")
+	}
+}
+
+func TestBoundsPoolDeduplicates(t *testing.T) {
+	// Two references to the same global array share one static bounds
+	// pair in the data image.
+	src := `
+int a[8];
+void main() {
+	for (int i = 0; i < 8; i++) a[i] = i;
+	for (int i = 0; i < 8; i++) a[i] += 1;
+	printi(a[7]);
+}`
+	p := compile(t, src, Config{Mode: vm.ModeBCC, UseBoundInstr: true})
+	// Count BOUND instructions with distinct displacement targets.
+	targets := make(map[int32]bool)
+	bounds := 0
+	for _, in := range p.Instrs {
+		if in.Op == vm.BOUND {
+			bounds++
+			targets[in.Src.Mem.Disp] = true
+		}
+	}
+	if bounds < 2 {
+		t.Fatalf("expected at least 2 bound instructions, got %d", bounds)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("bounds pairs = %d, want 1 (pooled)", len(targets))
+	}
+}

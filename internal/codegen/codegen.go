@@ -1,0 +1,433 @@
+// Package codegen translates checked mini-C programs into vm.Programs
+// under three compiler modes:
+//
+//   - GCC:  no bound checking (the paper's baseline),
+//   - BCC:  software bound checking — 3-word fat pointers and the
+//     6-instruction check sequence on every array/pointer reference,
+//   - Cash: segmentation-hardware bound checking — 2-word pointers with a
+//     3-word per-object info structure, one segment per array, segment
+//     registers allocated FCFS per loop, software fall-back for spilled
+//     loops, and no checks outside loops (§3.2–§3.7 of the paper).
+//
+// All three modes share the front end and the target ISA, so differences
+// in simulated cycles and code bytes isolate the checking strategy, which
+// is what the paper's tables compare.
+package codegen
+
+import (
+	"fmt"
+
+	"cash/internal/minic"
+	"cash/internal/vm"
+	"cash/internal/x86seg"
+)
+
+// DefaultSegRegs is the segment-register budget of the Cash prototype:
+// ES, FS and GS (§3.7).
+var DefaultSegRegs = []x86seg.SegReg{x86seg.ES, x86seg.FS, x86seg.GS}
+
+// SegRegsWithSS is the extended 4-register budget that frees SS by
+// rewriting PUSH/POP (§3.7); used by the micro-benchmark ablation.
+var SegRegsWithSS = []x86seg.SegReg{x86seg.ES, x86seg.FS, x86seg.GS, x86seg.SS}
+
+// Config selects the compiler mode and its knobs.
+type Config struct {
+	Mode vm.Mode
+	// SegRegs is the segment-register budget for Cash mode; nil means
+	// DefaultSegRegs. Truncate to model the 2-register ablation (§4.2).
+	SegRegs []x86seg.SegReg
+	// SkipReadChecks models the §3.8 security-only variant: only write
+	// references are bound-checked. Applies to BCC and Cash.
+	SkipReadChecks bool
+	// UseBoundInstr makes the software checker (BCC mode, and Cash's
+	// spill fall-back) use the IA-32 `bound` instruction instead of the
+	// 6-instruction compare sequence. The paper (§2) notes `bound` lost
+	// to the explicit sequence on the P3 — 7 cycles against 6 — which
+	// this ablation measures.
+	UseBoundInstr bool
+}
+
+// Layout constants shared by all generated programs.
+const (
+	DataBase = 0x1000
+	StackTop = 0x7fff0000
+)
+
+// Static code-generation statistic keys stored in Program.Stats.
+const (
+	StatHWChecks    = "hw_checks_static"   // references compiled to segment-checked operands
+	StatSWChecks    = "sw_checks_static"   // software check sequences emitted
+	StatSegments    = "static_segments"    // segments allocated for globals/strings
+	StatLocalArrays = "local_array_allocs" // per-call segment alloc sites
+)
+
+// Compile type-checks nothing: the caller must run minic.Check first.
+// It returns a runnable vm.Program.
+func Compile(prog *minic.Program, cfg Config) (*vm.Program, error) {
+	if cfg.Mode == 0 {
+		return nil, fmt.Errorf("codegen: config missing mode")
+	}
+	segRegs := cfg.SegRegs
+	if segRegs == nil {
+		segRegs = DefaultSegRegs
+	}
+	stackSeg := x86seg.SS
+	for _, r := range segRegs {
+		if r == x86seg.SS {
+			stackSeg = x86seg.DS
+		}
+	}
+	c := &compiler{
+		cfg:        cfg,
+		segRegs:    segRegs,
+		stackSeg:   stackSeg,
+		src:        prog,
+		b:          vm.NewBuilder(),
+		boundsPool: make(map[[2]uint32]uint32),
+		gInfo:      make(map[*minic.VarDecl]uint32),
+		localInfo:  make(map[*minic.VarDecl]int32),
+		stats:      make(map[string]uint64),
+	}
+	if err := c.layoutGlobals(); err != nil {
+		return nil, err
+	}
+	for _, fn := range prog.Funcs {
+		if err := c.genFunc(fn); err != nil {
+			return nil, fmt.Errorf("function %s: %w", fn.Name, err)
+		}
+	}
+	c.genTrap()
+	entry := c.genStartup()
+	p, err := c.b.Finish("program")
+	if err != nil {
+		return nil, err
+	}
+	p.Entry = entry
+	p.Mode = cfg.Mode.String()
+	p.Data = c.data
+	p.DataBase = DataBase
+	heap := (DataBase + uint32(len(c.data)) + 0xfff) &^ 0xfff
+	p.HeapBase = heap + 0x1000
+	p.StackTop = StackTop
+	for k, v := range c.stats {
+		p.Stats[k] = v
+	}
+	return p, nil
+}
+
+// ptrWords returns the pointer-variable representation width in words:
+// GCC 1 (value), Cash 2 (value + shadow info pointer), BCC 3 (value, base,
+// limit) — §4.1.
+func ptrWords(mode vm.Mode) int32 {
+	switch mode {
+	case vm.ModeCash:
+		return 2
+	case vm.ModeBCC:
+		return 3
+	default:
+		return 1
+	}
+}
+
+type compiler struct {
+	cfg     Config
+	segRegs []x86seg.SegReg
+	// stackSeg is the segment register frame accesses go through:
+	// normally SS. When SS is in the array-register budget the compiler
+	// rewrites stack addressing to DS, as §3.7 prescribes (PUSH/POP are
+	// replaced and EBP/ESP references use DS; the two segments are
+	// identical flat segments under Linux).
+	stackSeg x86seg.SegReg
+	src      *minic.Program
+	b        *vm.Builder
+	data     []byte
+
+	univInfo   uint32                    // Cash: info struct meaning "unchecked"
+	boundsPool map[[2]uint32]uint32      // bound-instruction static bounds pairs
+	gInfo      map[*minic.VarDecl]uint32 // Cash: global array -> info address
+	strLits    []strLit                  // string literals discovered during codegen
+	localInfo  map[*minic.VarDecl]int32  // Cash: local array -> info EBP offset
+
+	fn         *minic.FuncDecl
+	fa         *funcAnalysis
+	frameOff   map[*minic.VarDecl]int32
+	loopCtxFor map[minic.Stmt]*loopCtx
+	loops      []*loopCtx
+	inLoop     int
+	breakLbl   []string
+	contLbl    []string
+	epilogue   string
+	labelSeq   int
+
+	stats map[string]uint64
+}
+
+type strLit struct {
+	addr uint32
+	len  uint32 // including NUL
+	info uint32 // Cash info struct address (0 in other modes)
+}
+
+// loopCtx is the active outermost-loop segment assignment.
+type loopCtx struct {
+	info    *loopInfo
+	relSlot map[*minic.VarDecl]int32 // EBP offset of hoisted (p - lower)
+	lowSlot map[*minic.VarDecl]int32 // EBP offset of hoisted lower bound
+}
+
+func (c *compiler) lbl(prefix string) string {
+	c.labelSeq++
+	return fmt.Sprintf(".%s%d", prefix, c.labelSeq)
+}
+
+// allocData reserves n bytes in the data image with the given alignment
+// and returns the linear address.
+func (c *compiler) allocData(n, align uint32) uint32 {
+	for uint32(len(c.data))%align != 0 {
+		c.data = append(c.data, 0)
+	}
+	addr := DataBase + uint32(len(c.data))
+	c.data = append(c.data, make([]byte, n)...)
+	return addr
+}
+
+func (c *compiler) writeWord(addr uint32, v uint32) {
+	off := addr - DataBase
+	c.data[off] = byte(v)
+	c.data[off+1] = byte(v >> 8)
+	c.data[off+2] = byte(v >> 16)
+	c.data[off+3] = byte(v >> 24)
+}
+
+func (c *compiler) slotSize(t *minic.Type) int32 {
+	switch t.Kind {
+	case minic.TypePointer:
+		return ptrWords(c.cfg.Mode) * 4
+	case minic.TypeArray:
+		return int32((t.Size() + 3) &^ 3)
+	default:
+		return 4
+	}
+}
+
+// layoutGlobals places globals (with Cash info structures preceding each
+// array, §3.2), applies constant initialisers, and creates the universal
+// "unchecked" info structure.
+func (c *compiler) layoutGlobals() error {
+	if c.cfg.Mode == vm.ModeCash {
+		c.univInfo = c.allocData(vm.InfoStructSize, 4)
+		c.writeWord(c.univInfo, uint32(vm.FlatDataSelector))
+		c.writeWord(c.univInfo+4, 0)
+		c.writeWord(c.univInfo+8, 0xffffffff)
+	}
+	for _, g := range c.src.Globals {
+		if c.cfg.Mode == vm.ModeCash && g.Type.Kind == minic.TypeArray {
+			// "When a 100-byte array is statically allocated, Cash
+			// allocates 112 bytes, with the first three words dedicated
+			// to this array's information structure." (§3.2)
+			c.gInfo[g] = c.allocData(vm.InfoStructSize, 4)
+		}
+		g.Addr = c.allocData(uint32(c.slotSize(g.Type)), 4)
+		if err := c.initGlobal(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) initGlobal(g *minic.VarDecl) error {
+	constVal := func(e minic.Expr) (int32, error) {
+		v, ok := constEval(e)
+		if !ok {
+			return 0, fmt.Errorf("global %q: initialiser must be a constant expression", g.Name)
+		}
+		return v, nil
+	}
+	switch {
+	case g.InitStr != "":
+		off := g.Addr - DataBase
+		copy(c.data[off:], g.InitStr)
+	case g.InitList != nil:
+		elem := uint32(g.Type.Elem.Size())
+		for i, e := range g.InitList {
+			v, err := constVal(e)
+			if err != nil {
+				return err
+			}
+			addr := g.Addr + uint32(i)*elem
+			if elem == 1 {
+				c.data[addr-DataBase] = byte(v)
+			} else {
+				c.writeWord(addr, uint32(v))
+			}
+		}
+	case g.Init != nil:
+		v, err := constVal(g.Init)
+		if err != nil {
+			return err
+		}
+		if g.Type.Kind == minic.TypePointer {
+			if v != 0 {
+				return fmt.Errorf("global pointer %q: only 0 initialiser supported", g.Name)
+			}
+			c.writeWord(g.Addr, 0)
+			c.initPointerMetaStatic(g.Addr)
+		} else if g.Type == minic.Char {
+			c.data[g.Addr-DataBase] = byte(v)
+		} else {
+			c.writeWord(g.Addr, uint32(v))
+		}
+	default:
+		if g.Type.Kind == minic.TypePointer {
+			c.initPointerMetaStatic(g.Addr)
+		}
+	}
+	return nil
+}
+
+// initPointerMetaStatic writes "unchecked" metadata into a global pointer
+// slot's extra words.
+func (c *compiler) initPointerMetaStatic(addr uint32) {
+	switch c.cfg.Mode {
+	case vm.ModeCash:
+		c.writeWord(addr+4, c.univInfo)
+	case vm.ModeBCC:
+		c.writeWord(addr+4, 0)
+		c.writeWord(addr+8, 0xffffffff)
+	}
+}
+
+// internString places a string literal in the data image (once per
+// occurrence) and, in Cash mode, gives it an info structure so a segment
+// can cover it like any other static array.
+func (c *compiler) internString(s *minic.StringLit) strLit {
+	n := uint32(len(s.Value)) + 1
+	lit := strLit{len: n}
+	if c.cfg.Mode == vm.ModeCash {
+		lit.info = c.allocData(vm.InfoStructSize, 4)
+	}
+	lit.addr = c.allocData(n, 1)
+	copy(c.data[lit.addr-DataBase:], s.Value)
+	s.Addr = lit.addr
+	c.strLits = append(c.strLits, lit)
+	return lit
+}
+
+// genTrap emits the shared software-bound-violation sink.
+func (c *compiler) genTrap() {
+	c.b.Label("__bounds_trap")
+	c.b.Emit(vm.Instr{Op: vm.TRAP, Sym: "software array bound violation"})
+}
+
+// genStartup emits the process entry stub: Cash set-up (call gate,
+// segments for global arrays and string literals, §3.4), the call to
+// main, and exit.
+func (c *compiler) genStartup() int {
+	entry := c.b.Len()
+	c.b.Label("__start")
+	if c.cfg.Mode == vm.ModeCash {
+		c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(vm.SysSetLDTCallGate))
+		c.b.Emit(vm.Instr{Op: vm.INT, Src: vm.I(0x80)})
+		for _, g := range c.src.Globals {
+			if g.Type.Kind != minic.TypeArray {
+				continue
+			}
+			c.emitGateAlloc(vm.I(int32(g.Addr)), int32(g.Type.Size()), vm.I(int32(c.gInfo[g])))
+			c.stats[StatSegments]++
+		}
+		for _, lit := range c.strLits {
+			c.emitGateAlloc(vm.I(int32(lit.addr)), int32(lit.len), vm.I(int32(lit.info)))
+			c.stats[StatSegments]++
+		}
+	}
+	c.b.Call("main")
+	c.b.Op(vm.MOV, vm.R(vm.EBX), vm.R(vm.EAX))
+	c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(vm.SysExit))
+	c.b.Emit(vm.Instr{Op: vm.INT, Src: vm.I(0x80)})
+	c.b.Emit(vm.Instr{Op: vm.HLT})
+	return entry
+}
+
+// emitGateAlloc emits a cash_modify_ldt call-gate invocation allocating a
+// segment: EBX=base (operand), ECX=size, EDX=info address (operand).
+func (c *compiler) emitGateAlloc(base vm.Operand, size int32, info vm.Operand) {
+	c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(vm.GateAllocSegment))
+	if base.Kind == vm.KindMem {
+		c.b.Op(vm.LEA, vm.R(vm.EBX), base)
+	} else {
+		c.b.Op(vm.MOV, vm.R(vm.EBX), base)
+	}
+	c.b.Op(vm.MOV, vm.R(vm.ECX), vm.I(size))
+	if info.Kind == vm.KindMem {
+		c.b.Op(vm.LEA, vm.R(vm.EDX), info)
+	} else {
+		c.b.Op(vm.MOV, vm.R(vm.EDX), info)
+	}
+	c.b.Emit(vm.Instr{Op: vm.LCALL, Src: vm.I(7)})
+}
+
+// constEval folds constant integer expressions (literals and arithmetic
+// over them), used for global initialisers.
+func constEval(e minic.Expr) (int32, bool) {
+	switch e := e.(type) {
+	case *minic.NumberLit:
+		return e.Value, true
+	case *minic.Unary:
+		v, ok := constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return -v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *minic.Binary:
+		x, ok := constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		y, ok := constEval(e.Y)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "+":
+			return x + y, true
+		case "-":
+			return x - y, true
+		case "*":
+			return x * y, true
+		case "/":
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case "%":
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		case "<<":
+			return x << (uint32(y) & 31), true
+		case ">>":
+			return x >> (uint32(y) & 31), true
+		case "&":
+			return x & y, true
+		case "|":
+			return x | y, true
+		case "^":
+			return x ^ y, true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}

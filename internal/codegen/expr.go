@@ -1,0 +1,717 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cash/internal/minic"
+	"cash/internal/vm"
+)
+
+// Expression code generation. Convention: an expression's value lands in
+// EAX. Pointer-typed values additionally carry metadata in registers
+// according to the mode: Cash keeps the shadow info pointer in EDX; BCC
+// keeps base in EDX and limit in ECX. Temporaries across sub-expressions
+// are kept on the machine stack; EBX/ESI/EDI are scratch within one node.
+
+// loadUncheckedMeta sets the metadata registers to "no bounds known":
+// Cash points the shadow at the universal info structure, BCC uses
+// [0, 4GiB). Used for pointers materialised from integers, NULL, or
+// loaded thin from memory.
+func (c *compiler) loadUncheckedMeta() {
+	switch c.cfg.Mode {
+	case vm.ModeCash:
+		c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(c.univInfo)))
+	case vm.ModeBCC:
+		c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(0))
+		c.b.Op(vm.MOV, vm.R(vm.ECX), vm.I(-1))
+	}
+}
+
+// pushPtrMeta / popPtrMetaInto save and restore pointer metadata around a
+// sub-evaluation. Value word is pushed last so it pops first.
+func (c *compiler) pushPtr() {
+	switch c.cfg.Mode {
+	case vm.ModeCash:
+		c.b.Op1(vm.PUSH, vm.R(vm.EDX))
+	case vm.ModeBCC:
+		c.b.Op1(vm.PUSH, vm.R(vm.ECX))
+		c.b.Op1(vm.PUSH, vm.R(vm.EDX))
+	}
+	c.b.Op1(vm.PUSH, vm.R(vm.EAX))
+}
+
+// popPtr restores a pushed pointer into EAX + metadata registers.
+func (c *compiler) popPtr() {
+	c.b.Op1(vm.POP, vm.R(vm.EAX))
+	switch c.cfg.Mode {
+	case vm.ModeCash:
+		c.b.Op1(vm.POP, vm.R(vm.EDX))
+	case vm.ModeBCC:
+		c.b.Op1(vm.POP, vm.R(vm.EDX))
+		c.b.Op1(vm.POP, vm.R(vm.ECX))
+	}
+}
+
+// genExpr compiles e; result in EAX (+ metadata for pointers).
+func (c *compiler) genExpr(e minic.Expr) error {
+	switch e := e.(type) {
+	case *minic.NumberLit:
+		c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(e.Value))
+		return nil
+
+	case *minic.StringLit:
+		lit := c.internString(e)
+		c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(int32(lit.addr)))
+		switch c.cfg.Mode {
+		case vm.ModeCash:
+			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(lit.info)))
+		case vm.ModeBCC:
+			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(lit.addr)))
+			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.I(int32(lit.addr+lit.len)))
+		}
+		return nil
+
+	case *minic.VarRef:
+		return c.genVarRef(e.Decl)
+
+	case *minic.Unary:
+		return c.genUnary(e)
+
+	case *minic.IncDec:
+		return c.genIncDec(e)
+
+	case *minic.Binary:
+		return c.genBinary(e)
+
+	case *minic.Assign:
+		return c.genAssign(e)
+
+	case *minic.Index:
+		op, err := c.genRef(e.Base, e.Index, elemSizeOf(e.Base), false)
+		if err != nil {
+			return err
+		}
+		return c.genLoadThrough(op, e.Type())
+
+	case *minic.Call:
+		return c.genCall(e)
+
+	case *minic.Cast:
+		if err := c.genExpr(e.X); err != nil {
+			return err
+		}
+		from := e.X.Type()
+		switch {
+		case e.To.Kind == minic.TypePointer && from.Kind == minic.TypePointer:
+			// Metadata carries over (§3.9: casts copy the shadow info).
+		case e.To.Kind == minic.TypePointer:
+			// Integer materialised as pointer: unchecked.
+			c.loadUncheckedMeta()
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("codegen: unknown expression %T", e)
+	}
+}
+
+// elemSizeOf returns the element size of a pointer-typed base expression.
+func elemSizeOf(base minic.Expr) int32 {
+	t := base.Type()
+	if t.Kind == minic.TypePointer {
+		return int32(t.Elem.Size())
+	}
+	return 4
+}
+
+// genLoadThrough loads a value of the given (element) type through a
+// memory operand produced by genRef.
+func (c *compiler) genLoadThrough(op vm.Operand, t *minic.Type) error {
+	c.b.Emit(vm.Instr{Op: vm.MOV, Dst: vm.R(vm.EAX), Src: op, Size: accSize(t)})
+	if t.Kind == minic.TypePointer {
+		// Pointers stored inside objects are thin; a loaded pointer
+		// carries no bounds (documented representation decision).
+		c.loadUncheckedMeta()
+	}
+	return nil
+}
+
+func (c *compiler) genVarRef(d *minic.VarDecl) error {
+	switch d.Type.Kind {
+	case minic.TypeArray:
+		// Array decays to a pointer to its first element.
+		if d.Storage == minic.StorageGlobal {
+			c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(int32(d.Addr)))
+		} else {
+			c.b.Op(vm.LEA, vm.R(vm.EAX), vm.M(c.slotRef(d, 0)))
+		}
+		switch c.cfg.Mode {
+		case vm.ModeCash:
+			if d.Storage == minic.StorageGlobal {
+				c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(c.gInfo[d])))
+			} else {
+				c.b.Op(vm.LEA, vm.R(vm.EDX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.localInfo[d]}))
+			}
+		case vm.ModeBCC:
+			size := int32(d.Type.Size())
+			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
+			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.R(vm.EAX))
+			c.b.Op(vm.ADD, vm.R(vm.ECX), vm.I(size))
+		}
+		return nil
+
+	case minic.TypePointer:
+		c.b.Op(vm.MOV, vm.R(vm.EAX), vm.M(c.slotRef(d, 0)))
+		switch c.cfg.Mode {
+		case vm.ModeCash:
+			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.M(c.slotRef(d, 4)))
+		case vm.ModeBCC:
+			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.M(c.slotRef(d, 4)))
+			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.M(c.slotRef(d, 8)))
+		}
+		return nil
+
+	default:
+		c.b.Emit(vm.Instr{Op: vm.MOV, Dst: vm.R(vm.EAX), Src: vm.M(c.slotRef(d, 0)), Size: accSize(d.Type)})
+		return nil
+	}
+}
+
+func (c *compiler) genUnary(e *minic.Unary) error {
+	switch e.Op {
+	case "-":
+		if err := c.genExpr(e.X); err != nil {
+			return err
+		}
+		c.b.Op1(vm.NEG, vm.R(vm.EAX))
+		return nil
+	case "~":
+		if err := c.genExpr(e.X); err != nil {
+			return err
+		}
+		c.b.Op1(vm.NOT, vm.R(vm.EAX))
+		return nil
+	case "!":
+		return c.materializeCond(e)
+	case "*":
+		op, err := c.genRef(e.X, nil, elemSizeOf(e.X), false)
+		if err != nil {
+			return err
+		}
+		return c.genLoadThrough(op, e.Type())
+	case "&":
+		return c.genAddrOf(e.X)
+	default:
+		return fmt.Errorf("codegen: unary %s", e.Op)
+	}
+}
+
+// genAddrOf compiles &x: the address in EAX with the enclosing object's
+// metadata.
+func (c *compiler) genAddrOf(x minic.Expr) error {
+	switch x := x.(type) {
+	case *minic.VarRef:
+		d := x.Decl
+		if d.Type.Kind == minic.TypeArray {
+			return c.genVarRef(d) // &a == a for our purposes
+		}
+		// Address of a scalar. Cash associates scalars with the global
+		// segment, disabling checks (§3.9); BCC gives exact bounds.
+		if d.Storage == minic.StorageGlobal {
+			c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(int32(d.Addr)))
+		} else {
+			c.b.Op(vm.LEA, vm.R(vm.EAX), vm.M(c.slotRef(d, 0)))
+		}
+		switch c.cfg.Mode {
+		case vm.ModeCash:
+			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(c.univInfo)))
+		case vm.ModeBCC:
+			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
+			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.R(vm.EAX))
+			c.b.Op(vm.ADD, vm.R(vm.ECX), vm.I(int32(d.Type.Size())))
+		}
+		return nil
+
+	case *minic.Index:
+		// &base[i]: address arithmetic only, no memory access, metadata of
+		// the underlying object.
+		d := refObject(x.Base)
+		elem := elemSizeOf(x.Base)
+		if d == nil {
+			// Computed base: pointer arithmetic base + i.
+			return c.genPtrPlusInt(x.Base, x.Index, elem, false)
+		}
+		if err := c.genVarRef(d); err != nil { // EAX = base ptr, metadata set
+			return err
+		}
+		if v, ok := constEval(x.Index); ok {
+			if v != 0 {
+				c.b.Op(vm.ADD, vm.R(vm.EAX), vm.I(v*elem))
+			}
+			return nil
+		}
+		c.pushPtr()
+		if err := c.genExpr(x.Index); err != nil {
+			return err
+		}
+		c.scaleReg(vm.EAX, elem)
+		c.b.Op(vm.MOV, vm.R(vm.EBX), vm.R(vm.EAX))
+		c.popPtr()
+		c.b.Op(vm.ADD, vm.R(vm.EAX), vm.R(vm.EBX))
+		return nil
+
+	default:
+		return fmt.Errorf("codegen: cannot take address of %T", x)
+	}
+}
+
+func (c *compiler) genIncDec(e *minic.IncDec) error {
+	delta := int32(1)
+	t := e.X.Type()
+	if t.Kind == minic.TypePointer {
+		delta = int32(t.Elem.Size())
+	}
+	if e.Op == "--" {
+		delta = -delta
+	}
+	switch x := e.X.(type) {
+	case *minic.VarRef:
+		d := x.Decl
+		size := accSize(d.Type)
+		if err := c.genVarRef(d); err != nil { // old value in EAX (+meta)
+			return err
+		}
+		if e.Post {
+			c.b.Op(vm.MOV, vm.R(vm.EBX), vm.R(vm.EAX))
+			c.b.Op(vm.ADD, vm.R(vm.EBX), vm.I(delta))
+			c.b.Emit(vm.Instr{Op: vm.MOV, Dst: vm.M(c.slotRef(d, 0)), Src: vm.R(vm.EBX), Size: size})
+			return nil // EAX holds the old value; metadata unchanged
+		}
+		c.b.Op(vm.ADD, vm.R(vm.EAX), vm.I(delta))
+		c.b.Emit(vm.Instr{Op: vm.MOV, Dst: vm.M(c.slotRef(d, 0)), Src: vm.R(vm.EAX), Size: size})
+		return nil
+
+	default:
+		// ++/-- on a dereferenced location: read-modify-write through the
+		// checked operand.
+		op, size, err := c.genLValueRef(e.X, true)
+		if err != nil {
+			return err
+		}
+		c.b.Emit(vm.Instr{Op: vm.MOV, Dst: vm.R(vm.ESI), Src: op, Size: size})
+		c.b.Op(vm.MOV, vm.R(vm.EDI), vm.R(vm.ESI))
+		c.b.Op(vm.ADD, vm.R(vm.EDI), vm.I(delta))
+		c.b.Emit(vm.Instr{Op: vm.MOV, Dst: op, Src: vm.R(vm.EDI), Size: size})
+		if e.Post {
+			c.b.Op(vm.MOV, vm.R(vm.EAX), vm.R(vm.ESI))
+		} else {
+			c.b.Op(vm.MOV, vm.R(vm.EAX), vm.R(vm.EDI))
+		}
+		if e.Type().Kind == minic.TypePointer {
+			c.loadUncheckedMeta()
+		}
+		return nil
+	}
+}
+
+// genLValueRef produces a checked memory operand for an Index or deref
+// lvalue.
+func (c *compiler) genLValueRef(e minic.Expr, write bool) (vm.Operand, uint8, error) {
+	switch e := e.(type) {
+	case *minic.Index:
+		op, err := c.genRef(e.Base, e.Index, elemSizeOf(e.Base), write)
+		return op, accSize(e.Type()), err
+	case *minic.Unary:
+		if e.Op != "*" {
+			break
+		}
+		op, err := c.genRef(e.X, nil, elemSizeOf(e.X), write)
+		return op, accSize(e.Type()), err
+	}
+	return vm.Operand{}, 0, fmt.Errorf("codegen: not a memory lvalue: %T", e)
+}
+
+var compareJcc = map[string][2]vm.Op{
+	// signed, unsigned variants
+	"==": {vm.JE, vm.JE},
+	"!=": {vm.JNE, vm.JNE},
+	"<":  {vm.JL, vm.JB},
+	"<=": {vm.JLE, vm.JBE},
+	">":  {vm.JG, vm.JA},
+	">=": {vm.JGE, vm.JAE},
+}
+
+var negatedJcc = map[vm.Op]vm.Op{
+	vm.JE: vm.JNE, vm.JNE: vm.JE,
+	vm.JL: vm.JGE, vm.JGE: vm.JL, vm.JLE: vm.JG, vm.JG: vm.JLE,
+	vm.JB: vm.JAE, vm.JAE: vm.JB, vm.JBE: vm.JA, vm.JA: vm.JBE,
+}
+
+// genCondJump compiles e as a condition: control transfers to target when
+// the condition's truth equals jumpIfTrue, and falls through otherwise.
+func (c *compiler) genCondJump(e minic.Expr, target string, jumpIfTrue bool) error {
+	switch e := e.(type) {
+	case *minic.Binary:
+		if jcc, ok := compareJcc[e.Op]; ok {
+			if rhs, direct := c.directOperand(e.Y); direct {
+				if err := c.genExpr(e.X); err != nil {
+					return err
+				}
+				c.b.Op(vm.CMP, vm.R(vm.EAX), rhs)
+			} else {
+				if err := c.genExpr(e.Y); err != nil {
+					return err
+				}
+				c.b.Op1(vm.PUSH, vm.R(vm.EAX))
+				if err := c.genExpr(e.X); err != nil {
+					return err
+				}
+				c.b.Op1(vm.POP, vm.R(vm.EBX))
+				c.b.Op(vm.CMP, vm.R(vm.EAX), vm.R(vm.EBX))
+			}
+			unsigned := e.X.Type().IsPointerLike() || e.Y.Type().IsPointerLike()
+			op := jcc[0]
+			if unsigned {
+				op = jcc[1]
+			}
+			if !jumpIfTrue {
+				op = negatedJcc[op]
+			}
+			c.b.Jump(op, target)
+			return nil
+		}
+		if e.Op == "&&" {
+			if jumpIfTrue {
+				skip := c.lbl("and")
+				if err := c.genCondJump(e.X, skip, false); err != nil {
+					return err
+				}
+				if err := c.genCondJump(e.Y, target, true); err != nil {
+					return err
+				}
+				c.b.Label(skip)
+				return nil
+			}
+			if err := c.genCondJump(e.X, target, false); err != nil {
+				return err
+			}
+			return c.genCondJump(e.Y, target, false)
+		}
+		if e.Op == "||" {
+			if jumpIfTrue {
+				if err := c.genCondJump(e.X, target, true); err != nil {
+					return err
+				}
+				return c.genCondJump(e.Y, target, true)
+			}
+			skip := c.lbl("or")
+			if err := c.genCondJump(e.X, skip, true); err != nil {
+				return err
+			}
+			if err := c.genCondJump(e.Y, target, false); err != nil {
+				return err
+			}
+			c.b.Label(skip)
+			return nil
+		}
+
+	case *minic.Unary:
+		if e.Op == "!" {
+			return c.genCondJump(e.X, target, !jumpIfTrue)
+		}
+	}
+	// Generic: evaluate and compare against zero.
+	if err := c.genExpr(e); err != nil {
+		return err
+	}
+	c.b.Op(vm.CMP, vm.R(vm.EAX), vm.I(0))
+	op := vm.JNE
+	if !jumpIfTrue {
+		op = vm.JE
+	}
+	c.b.Jump(op, target)
+	return nil
+}
+
+// materializeCond turns a boolean expression into 0/1 in EAX.
+func (c *compiler) materializeCond(e minic.Expr) error {
+	tl, end := c.lbl("ct"), c.lbl("ce")
+	if err := c.genCondJump(e, tl, true); err != nil {
+		return err
+	}
+	c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(0))
+	c.b.Jump(vm.JMP, end)
+	c.b.Label(tl)
+	c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(1))
+	c.b.Label(end)
+	return nil
+}
+
+// genPtrPlusInt compiles ptrExpr +/- intExpr with the pointer's metadata
+// preserved. neg selects subtraction.
+func (c *compiler) genPtrPlusInt(ptr minic.Expr, idx minic.Expr, elem int32, neg bool) error {
+	if v, ok := constEval(idx); ok {
+		if err := c.genExpr(ptr); err != nil {
+			return err
+		}
+		d := v * elem
+		if neg {
+			d = -d
+		}
+		if d != 0 {
+			c.b.Op(vm.ADD, vm.R(vm.EAX), vm.I(d))
+		}
+		return nil
+	}
+	if rhs, direct := c.directOperand(idx); direct {
+		if err := c.genExpr(ptr); err != nil {
+			return err
+		}
+		c.b.Op(vm.MOV, vm.R(vm.EBX), rhs)
+	} else {
+		if err := c.genExpr(idx); err != nil {
+			return err
+		}
+		c.b.Op1(vm.PUSH, vm.R(vm.EAX))
+		if err := c.genExpr(ptr); err != nil {
+			return err
+		}
+		c.b.Op1(vm.POP, vm.R(vm.EBX))
+	}
+	c.scaleReg(vm.EBX, elem)
+	if neg {
+		c.b.Op(vm.SUB, vm.R(vm.EAX), vm.R(vm.EBX))
+	} else {
+		c.b.Op(vm.ADD, vm.R(vm.EAX), vm.R(vm.EBX))
+	}
+	return nil
+}
+
+var aluOps = map[string]vm.Op{
+	"+": vm.ADD, "-": vm.SUB, "*": vm.IMUL, "/": vm.IDIV, "%": vm.IMOD,
+	"&": vm.AND, "|": vm.OR, "^": vm.XOR, "<<": vm.SHL, ">>": vm.SAR,
+}
+
+// directOperand returns an immediate or memory operand for expressions
+// that need no computation: integer constants and scalar int variables.
+// (char variables need a width-changing load and pointers carry
+// metadata, so both evaluate normally.)
+func (c *compiler) directOperand(e minic.Expr) (vm.Operand, bool) {
+	if v, ok := constEval(e); ok {
+		return vm.I(v), true
+	}
+	if ref, ok := e.(*minic.VarRef); ok && ref.Decl != nil && ref.Decl.Type == minic.Int {
+		return vm.M(c.slotRef(ref.Decl, 0)), true
+	}
+	return vm.Operand{}, false
+}
+
+func (c *compiler) genBinary(e *minic.Binary) error {
+	if _, isCmp := compareJcc[e.Op]; isCmp || e.Op == "&&" || e.Op == "||" {
+		return c.materializeCond(e)
+	}
+	xt, yt := e.X.Type(), e.Y.Type()
+
+	// Pointer arithmetic.
+	if e.Op == "+" || e.Op == "-" {
+		switch {
+		case xt.Kind == minic.TypePointer && yt.IsArith():
+			return c.genPtrPlusInt(e.X, e.Y, int32(xt.Elem.Size()), e.Op == "-")
+		case e.Op == "+" && xt.IsArith() && yt.Kind == minic.TypePointer:
+			return c.genPtrPlusInt(e.Y, e.X, int32(yt.Elem.Size()), false)
+		case e.Op == "-" && xt.Kind == minic.TypePointer && yt.Kind == minic.TypePointer:
+			if err := c.genExpr(e.Y); err != nil {
+				return err
+			}
+			c.b.Op1(vm.PUSH, vm.R(vm.EAX))
+			if err := c.genExpr(e.X); err != nil {
+				return err
+			}
+			c.b.Op1(vm.POP, vm.R(vm.EBX))
+			c.b.Op(vm.SUB, vm.R(vm.EAX), vm.R(vm.EBX))
+			elem := int32(xt.Elem.Size())
+			if elem > 1 {
+				c.b.Op(vm.IDIV, vm.R(vm.EAX), vm.I(elem))
+			}
+			return nil
+		}
+	}
+
+	op, ok := aluOps[e.Op]
+	if !ok {
+		return fmt.Errorf("codegen: binary %s", e.Op)
+	}
+	// Constant or plain-variable RHS uses an immediate/memory operand
+	// directly, as any real x86 compiler does, avoiding the push/pop
+	// spill — this keeps the unchecked baseline tight so the check
+	// overheads are not diluted.
+	if rhs, direct := c.directOperand(e.Y); direct {
+		if err := c.genExpr(e.X); err != nil {
+			return err
+		}
+		c.b.Op(op, vm.R(vm.EAX), rhs)
+		return nil
+	}
+	if err := c.genExpr(e.Y); err != nil {
+		return err
+	}
+	c.b.Op1(vm.PUSH, vm.R(vm.EAX))
+	if err := c.genExpr(e.X); err != nil {
+		return err
+	}
+	c.b.Op1(vm.POP, vm.R(vm.EBX))
+	c.b.Op(op, vm.R(vm.EAX), vm.R(vm.EBX))
+	return nil
+}
+
+func (c *compiler) genAssign(e *minic.Assign) error {
+	switch lhs := e.LHS.(type) {
+	case *minic.VarRef:
+		return c.genAssignVar(e, lhs.Decl)
+	default:
+		return c.genAssignMem(e)
+	}
+}
+
+// genAssignVar stores into a named variable's slot.
+func (c *compiler) genAssignVar(e *minic.Assign, d *minic.VarDecl) error {
+	size := accSize(d.Type)
+	if e.Op == "=" {
+		if err := c.genExpr(e.RHS); err != nil {
+			return err
+		}
+		if d.Type.Kind == minic.TypePointer && !e.RHS.Type().IsPointerLike() {
+			// NULL (0) literal assigned to a pointer.
+			c.loadUncheckedMeta()
+		}
+		c.b.Emit(vm.Instr{Op: vm.MOV, Dst: vm.M(c.slotRef(d, 0)), Src: vm.R(vm.EAX), Size: size})
+		if d.Type.Kind == minic.TypePointer {
+			switch c.cfg.Mode {
+			case vm.ModeCash:
+				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 4)), vm.R(vm.EDX))
+			case vm.ModeBCC:
+				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 4)), vm.R(vm.EDX))
+				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 8)), vm.R(vm.ECX))
+			}
+		}
+		return nil
+	}
+
+	// Compound assignment.
+	op := aluOps[e.Op[:len(e.Op)-1]]
+	if err := c.genExpr(e.RHS); err != nil {
+		return err
+	}
+	if d.Type.Kind == minic.TypePointer {
+		// p += n scales by the element size; metadata is unchanged.
+		c.scaleReg(vm.EAX, int32(d.Type.Elem.Size()))
+	}
+	c.b.Emit(vm.Instr{Op: op, Dst: vm.M(c.slotRef(d, 0)), Src: vm.R(vm.EAX), Size: size})
+	// The assignment's value is the updated variable.
+	return c.genVarRef(d)
+}
+
+// genAssignMem stores through a checked Index/deref lvalue.
+func (c *compiler) genAssignMem(e *minic.Assign) error {
+	if err := c.genExpr(e.RHS); err != nil {
+		return err
+	}
+	c.b.Op1(vm.PUSH, vm.R(vm.EAX))
+	op, size, err := c.genLValueRef(e.LHS, true)
+	if err != nil {
+		return err
+	}
+	c.b.Op1(vm.POP, vm.R(vm.ESI))
+	if e.Op == "=" {
+		c.b.Emit(vm.Instr{Op: vm.MOV, Dst: op, Src: vm.R(vm.ESI), Size: size})
+		c.b.Op(vm.MOV, vm.R(vm.EAX), vm.R(vm.ESI))
+		if e.Type().Kind == minic.TypePointer {
+			c.loadUncheckedMeta()
+		}
+		return nil
+	}
+	alu := aluOps[e.Op[:len(e.Op)-1]]
+	c.b.Emit(vm.Instr{Op: alu, Dst: op, Src: vm.R(vm.ESI), Size: size})
+	c.b.Emit(vm.Instr{Op: vm.MOV, Dst: vm.R(vm.EAX), Src: op, Size: size})
+	return nil
+}
+
+func (c *compiler) genCall(e *minic.Call) error {
+	if minic.IsBuiltin(e.Name) {
+		return c.genBuiltin(e)
+	}
+	fn := e.Decl
+	// Push arguments right-to-left; fat pointer parameters take their
+	// metadata words too, exactly the copying cost §4.5 discusses.
+	total := int32(0)
+	for i := len(e.Args) - 1; i >= 0; i-- {
+		arg := e.Args[i]
+		param := fn.Params[i]
+		if err := c.genExpr(arg); err != nil {
+			return err
+		}
+		if param.Type.Kind == minic.TypePointer {
+			if !arg.Type().IsPointerLike() {
+				c.loadUncheckedMeta()
+			}
+			c.pushPtr()
+			total += ptrWords(c.cfg.Mode) * 4
+		} else {
+			c.b.Op1(vm.PUSH, vm.R(vm.EAX))
+			total += 4
+		}
+	}
+	c.b.Call(e.Name)
+	if total > 0 {
+		c.b.Op(vm.ADD, vm.R(vm.ESP), vm.I(total))
+	}
+	return nil
+}
+
+func (c *compiler) genBuiltin(e *minic.Call) error {
+	switch e.Name {
+	case "printi", "printc":
+		if err := c.genExpr(e.Args[0]); err != nil {
+			return err
+		}
+		svc := vm.HostPrintInt
+		if e.Name == "printc" {
+			svc = vm.HostPrintCh
+		}
+		c.b.Emit(vm.Instr{Op: vm.HCALL, Src: vm.I(int32(svc))})
+		return nil
+
+	case "malloc":
+		if err := c.genExpr(e.Args[0]); err != nil {
+			return err
+		}
+		switch c.cfg.Mode {
+		case vm.ModeBCC:
+			// Capture the size so the fat pointer gets exact bounds.
+			c.b.Op(vm.MOV, vm.R(vm.ESI), vm.R(vm.EAX))
+			c.b.Emit(vm.Instr{Op: vm.HCALL, Src: vm.I(vm.HostMalloc)})
+			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
+			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.R(vm.EAX))
+			c.b.Op(vm.ADD, vm.R(vm.ECX), vm.R(vm.ESI))
+		case vm.ModeCash:
+			// The info structure sits just below the returned array
+			// (§3.2): shadow = ptr - 12.
+			c.b.Emit(vm.Instr{Op: vm.HCALL, Src: vm.I(vm.HostMalloc)})
+			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
+			c.b.Op(vm.SUB, vm.R(vm.EDX), vm.I(vm.InfoStructSize))
+		default:
+			c.b.Emit(vm.Instr{Op: vm.HCALL, Src: vm.I(vm.HostMalloc)})
+		}
+		return nil
+
+	case "free":
+		if err := c.genExpr(e.Args[0]); err != nil {
+			return err
+		}
+		c.b.Emit(vm.Instr{Op: vm.HCALL, Src: vm.I(vm.HostFree)})
+		return nil
+
+	default:
+		return fmt.Errorf("codegen: unknown builtin %s", e.Name)
+	}
+}

@@ -1,0 +1,288 @@
+// Package core is the heart of the Cash reproduction: it ties the mini-C
+// front end, the three code generators and the simulated machine together
+// into the workflow the paper evaluates — compile a program under GCC
+// (unchecked), BCC (software checks) and Cash (segmentation-hardware
+// checks), run it, and compare cycle counts, check counts, code sizes and
+// detection behaviour.
+package core
+
+import (
+	"fmt"
+
+	"cash/internal/codegen"
+	"cash/internal/ldt"
+	"cash/internal/minic"
+	"cash/internal/vm"
+	"cash/internal/x86seg"
+)
+
+// Mode re-exports the compiler mode for users of the core API.
+type Mode = vm.Mode
+
+// Compiler modes.
+const (
+	ModeGCC  = vm.ModeGCC
+	ModeBCC  = vm.ModeBCC
+	ModeCash = vm.ModeCash
+)
+
+// Options tunes a build.
+type Options struct {
+	// SegRegs is the Cash segment-register budget (2, 3 or 4 registers);
+	// 0 means the prototype default of 3 (ES, FS, GS). 4 adds SS (§3.7).
+	SegRegs int
+	// SkipReadChecks enables the §3.8 security-only variant.
+	SkipReadChecks bool
+	// UseBoundInstr makes software checks use the IA-32 bound
+	// instruction (7 cycles) instead of the 6-instruction sequence —
+	// the §2 ablation explaining why bound lost.
+	UseBoundInstr bool
+	// WithoutCallGate runs without the Cash kernel patch: segment
+	// allocations pay the stock modify_ldt cost (§3.6 ablation).
+	WithoutCallGate bool
+	// ElectricFence replaces malloc with the guard-page debugger of the
+	// paper's related work (§2): heap objects end at a page boundary
+	// followed by an unmapped page. Enables paging. Detects heap
+	// overruns only, at a two-pages-per-allocation space cost.
+	ElectricFence bool
+	// StepLimit bounds execution; 0 means the VM default.
+	StepLimit uint64
+}
+
+func (o Options) segRegs() ([]x86seg.SegReg, error) {
+	switch o.SegRegs {
+	case 0, 3:
+		return codegen.DefaultSegRegs, nil
+	case 2:
+		return codegen.DefaultSegRegs[:2], nil
+	case 4:
+		return codegen.SegRegsWithSS, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported segment register budget %d", o.SegRegs)
+	}
+}
+
+// Artifact is a compiled program for one mode.
+type Artifact struct {
+	Mode    Mode
+	Program *vm.Program
+	AST     *minic.Program
+	opts    Options
+}
+
+// Build parses, checks and compiles source for the given mode.
+func Build(source string, mode Mode, opts Options) (*Artifact, error) {
+	ast, err := minic.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if err := minic.Check(ast); err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	regs, err := opts.segRegs()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Compile(ast, codegen.Config{
+		Mode:           mode,
+		SegRegs:        regs,
+		SkipReadChecks: opts.SkipReadChecks,
+		UseBoundInstr:  opts.UseBoundInstr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	return &Artifact{Mode: mode, Program: prog, AST: ast, opts: opts}, nil
+}
+
+// CodeSize returns the estimated binary text size in bytes.
+func (a *Artifact) CodeSize() int { return a.Program.CodeSize() }
+
+// StaticStats exposes the code generator's static counters.
+func (a *Artifact) StaticStats() map[string]uint64 { return a.Program.Stats }
+
+// Disassemble renders the generated code.
+func (a *Artifact) Disassemble() string { return a.Program.Disassemble() }
+
+// NewMachine prepares a fresh machine for the artifact.
+func (a *Artifact) NewMachine(extra ...vm.Option) (*vm.Machine, error) {
+	opts := make([]vm.Option, 0, 3+len(extra))
+	if a.opts.StepLimit > 0 {
+		opts = append(opts, vm.WithStepLimit(a.opts.StepLimit))
+	}
+	if a.opts.WithoutCallGate {
+		opts = append(opts, vm.WithoutCallGate())
+	}
+	if a.opts.ElectricFence {
+		opts = append(opts, vm.WithPaging(64<<20), vm.WithElectricFence())
+	}
+	opts = append(opts, extra...)
+	return vm.New(a.Program, a.Mode, opts...)
+}
+
+// RunResult is the outcome of executing an artifact once.
+type RunResult struct {
+	*vm.Result
+	// Violation is non-nil when execution stopped on a detected array
+	// bound violation (hardware #GP, software check, or — under
+	// ElectricFence — a guard-page fault).
+	Violation *vm.Fault
+	// HeapSpan is the heap address space the run consumed.
+	HeapSpan uint32
+}
+
+// Run executes the artifact on a fresh machine. Detected bound violations
+// are reported in the result, not as an error; any other fault is an
+// error.
+func (a *Artifact) Run(extra ...vm.Option) (*RunResult, error) {
+	m, err := a.NewMachine(extra...)
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := m.Run()
+	out := &RunResult{Result: res, HeapSpan: m.HeapSpan()}
+	if runErr != nil {
+		f, ok := runErr.(*vm.Fault)
+		if ok && (f.IsBoundViolation() || m.IsGuardFault(f)) {
+			out.Violation = f
+			return out, nil
+		}
+		return out, runErr
+	}
+	return out, nil
+}
+
+// ModeReport captures one mode's measurements for a comparison.
+type ModeReport struct {
+	Mode     Mode
+	Cycles   uint64
+	CodeSize int
+	Output   []int32
+	Stats    vm.Stats
+	LDTStats ldt.Stats
+	StaticHW uint64
+	StaticSW uint64
+}
+
+// Comparison is a three-mode evaluation of one program — one row of the
+// paper's tables.
+type Comparison struct {
+	Name string
+	GCC  ModeReport
+	BCC  ModeReport
+	Cash ModeReport
+}
+
+// CashOverheadPct returns Cash's execution-time overhead over GCC in
+// percent.
+func (c *Comparison) CashOverheadPct() float64 {
+	return overheadPct(c.Cash.Cycles, c.GCC.Cycles)
+}
+
+// BCCOverheadPct returns BCC's execution-time overhead over GCC in
+// percent.
+func (c *Comparison) BCCOverheadPct() float64 {
+	return overheadPct(c.BCC.Cycles, c.GCC.Cycles)
+}
+
+// CashSizeOverheadPct and BCCSizeOverheadPct return binary-size overheads
+// in percent (Tables 2 and 6).
+func (c *Comparison) CashSizeOverheadPct() float64 {
+	return overheadPct(uint64(c.Cash.CodeSize), uint64(c.GCC.CodeSize))
+}
+
+// BCCSizeOverheadPct returns BCC's binary-size overhead in percent.
+func (c *Comparison) BCCSizeOverheadPct() float64 {
+	return overheadPct(uint64(c.BCC.CodeSize), uint64(c.GCC.CodeSize))
+}
+
+func overheadPct(v, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (float64(v) - float64(base)) / float64(base) * 100
+}
+
+// Compare builds and runs source under all three modes and checks that
+// the three executions produce identical program output (they must, for a
+// bound-respecting program).
+func Compare(name, source string, opts Options) (*Comparison, error) {
+	cmp := &Comparison{Name: name}
+	for _, mode := range []Mode{ModeGCC, ModeBCC, ModeCash} {
+		art, err := Build(source, mode, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s [%v]: %w", name, mode, err)
+		}
+		res, err := art.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s [%v]: run: %w", name, mode, err)
+		}
+		if res.Violation != nil {
+			return nil, fmt.Errorf("%s [%v]: unexpected bound violation: %v", name, mode, res.Violation)
+		}
+		report := ModeReport{
+			Mode:     mode,
+			Cycles:   res.Cycles,
+			CodeSize: art.CodeSize(),
+			Output:   res.Output,
+			Stats:    res.Stats,
+			LDTStats: res.LDTStats,
+			StaticHW: art.Program.Stats[codegen.StatHWChecks],
+			StaticSW: art.Program.Stats[codegen.StatSWChecks],
+		}
+		switch mode {
+		case ModeGCC:
+			cmp.GCC = report
+		case ModeBCC:
+			cmp.BCC = report
+		case ModeCash:
+			cmp.Cash = report
+		}
+	}
+	if err := sameOutput(cmp.GCC.Output, cmp.BCC.Output); err != nil {
+		return nil, fmt.Errorf("%s: bcc output differs from gcc: %w", name, err)
+	}
+	if err := sameOutput(cmp.GCC.Output, cmp.Cash.Output); err != nil {
+		return nil, fmt.Errorf("%s: cash output differs from gcc: %w", name, err)
+	}
+	return cmp, nil
+}
+
+func sameOutput(a, b []int32) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("element %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// LoopCharacteristics reports the static loop statistics of a program for
+// the paper's Tables 4 and 7: total array-using loops and loops that use
+// more than budget distinct arrays ("spilled loops").
+type LoopCharacteristics struct {
+	Lines           int
+	ArrayUsingLoops int
+	SpilledLoops    int
+}
+
+// Characterize computes the static characteristics of a mini-C source
+// with the given segment-register budget (3 in the paper's tables).
+func Characterize(source string, budget int) (LoopCharacteristics, error) {
+	ast, err := minic.Parse(source)
+	if err != nil {
+		return LoopCharacteristics{}, err
+	}
+	if err := minic.Check(ast); err != nil {
+		return LoopCharacteristics{}, err
+	}
+	st := codegen.AnalyzeLoopStats(ast, budget)
+	return LoopCharacteristics{
+		Lines:           minic.LineCount(source),
+		ArrayUsingLoops: st.ArrayUsingLoops,
+		SpilledLoops:    st.SpilledLoops,
+	}, nil
+}

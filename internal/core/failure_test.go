@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cash/internal/ldt"
+)
+
+// Failure injection: the §3.4 degradation path. When a program needs
+// more than 8191 simultaneous segments, Cash assigns the overflowing
+// objects to the global (flat) segment, silently disabling their bound
+// checking rather than failing the program.
+
+// exhaustionProgram allocates `live` heap buffers that stay live, then
+// allocates one more probe buffer and overflows it inside a loop.
+func exhaustionProgram(live int) string {
+	return fmt.Sprintf(`
+int keep[1];
+void main() {
+	// Pin %d buffers so their segments stay allocated.
+	for (int i = 0; i < %d; i++) {
+		char *p = malloc(8);
+		p[0] = 1;
+		keep[0] += p[0];
+	}
+	// The probe allocation and its overflow.
+	char *q = malloc(8);
+	for (int i = 0; i < 16; i++) q[i] = 2;
+	printi(keep[0]);
+}`, live, live)
+}
+
+func TestLDTExhaustionFallsBackToGlobalSegment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates 8191 segments")
+	}
+	// More than 8191 live allocations (plus the globals/strings) exhaust
+	// the LDT; the probe buffer gets the flat segment and its overflow
+	// goes undetected — the documented §3.4 trade-off.
+	art, err := Build(exhaustionProgram(ldt.UsableEntries+10), ModeCash, Options{StepLimit: 200_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := art.Run()
+	if err != nil {
+		t.Fatalf("exhausted program must keep running: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("overflow on a fall-back object must NOT be caught, got %v", res.Violation)
+	}
+	if res.LDTStats.PeakLive != ldt.UsableEntries {
+		t.Fatalf("peak live segments = %d, want the full budget %d",
+			res.LDTStats.PeakLive, ldt.UsableEntries)
+	}
+}
+
+func TestBelowBudgetOverflowStillCaught(t *testing.T) {
+	// The identical program with far fewer live buffers: the probe gets
+	// a real segment and the overflow faults.
+	art, err := Build(exhaustionProgram(50), ModeCash, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := art.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("below the budget, the probe overflow must be caught")
+	}
+}
+
+// TestShadowCorruptionOnlyHurtsSelf models §3.8: the free_ldt_entry list
+// and shadow structures live in user space; corrupting a shadow pointer
+// can crash the application but is contained to it (here: the universal
+// info structure makes a zeroed shadow merely unchecked rather than
+// wild).
+func TestShadowCorruptionOnlyHurtsSelf(t *testing.T) {
+	// A cast from int materialises a pointer with "unchecked" metadata —
+	// the same state shadow corruption would leave. The program stays
+	// inside its own memory and simply loses checking.
+	src := `
+int target[4];
+void main() {
+	int addr = (int)target;
+	int *p = (int*)addr;
+	for (int i = 0; i < 6; i++) p[i] = i; // 2 past the end, unchecked
+	printi(p[0]);
+}`
+	art, err := Build(src, ModeCash, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := art.Run()
+	if err != nil {
+		t.Fatalf("unchecked pointer must not fault the machine: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("int-derived pointers are unchecked by design (§3.9), got %v", res.Violation)
+	}
+}
+
+// TestElectricFenceEndToEnd drives the guard-page detector through the
+// public core API.
+func TestElectricFenceEndToEnd(t *testing.T) {
+	overflow := `
+void main() {
+	char *b = malloc(100);
+	for (int i = 0; i < 120; i++) b[i] = 'x';
+}`
+	art, err := Build(overflow, ModeGCC, Options{ElectricFence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := art.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("guard page must catch the heap overrun")
+	}
+	// Space cost: ~2 pages for a 100-byte object.
+	if res.HeapSpan < 8192 {
+		t.Fatalf("HeapSpan = %d, want at least two pages", res.HeapSpan)
+	}
+}
+
+func TestBoundInstrOptionEndToEnd(t *testing.T) {
+	src := `
+int a[8];
+void main() {
+	int s = 0;
+	for (int i = 0; i < 8; i++) { a[i] = i; s += a[i]; }
+	printi(s);
+}`
+	art, err := Build(src, ModeBCC, Options{UseBoundInstr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := art.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BoundInstrs == 0 {
+		t.Fatal("bound instructions must execute")
+	}
+	if res.Output[0] != 28 {
+		t.Fatalf("output = %v, want [28]", res.Output)
+	}
+}

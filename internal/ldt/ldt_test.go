@@ -1,0 +1,326 @@
+package ldt
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cash/internal/x86seg"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	return NewManager(x86seg.NewTable("LDT"))
+}
+
+func TestInstallCallGate(t *testing.T) {
+	m := newManager(t)
+	if m.GateInstalled() {
+		t.Fatal("gate must not be installed initially")
+	}
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.GateInstalled() {
+		t.Fatal("gate must be installed")
+	}
+	if got := m.Cycles(); got != CostProgramSetup {
+		t.Fatalf("Cycles = %d, want per-program setup %d", got, CostProgramSetup)
+	}
+	// Idempotent: no second charge.
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cycles(); got != CostProgramSetup {
+		t.Fatalf("Cycles after repeat = %d, want %d", got, CostProgramSetup)
+	}
+	if !m.LDT().InUse(CallGateEntry) {
+		t.Fatal("entry 0 must hold the call gate")
+	}
+}
+
+func TestAllocInstallsDescriptor(t *testing.T) {
+	m := newManager(t)
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.Alloc(0x8000, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Table() != x86seg.LDT {
+		t.Fatalf("selector table = %v, want LDT", sel.Table())
+	}
+	if sel.Index() == CallGateEntry {
+		t.Fatal("allocation must never hand out the call gate entry")
+	}
+	d, err := m.LDT().Lookup(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Base != 0x8000 || d.ByteSize() != 400 {
+		t.Fatalf("descriptor = %v, want base 0x8000 size 400", d)
+	}
+	if m.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", m.Live())
+	}
+}
+
+func TestAllocCostGateVsSyscall(t *testing.T) {
+	// Without the gate: stock modify_ldt (781 cycles).
+	slow := newManager(t)
+	if _, err := slow.Alloc(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := slow.Cycles(); got != CostModifyLDT {
+		t.Fatalf("syscall path cycles = %d, want %d", got, CostModifyLDT)
+	}
+	// With the gate: cash_modify_ldt (253 cycles).
+	fast := newManager(t)
+	if err := fast.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	fast.ResetCycles()
+	if _, err := fast.Alloc(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := fast.Cycles(); got != CostCallGate {
+		t.Fatalf("call gate path cycles = %d, want %d", got, CostCallGate)
+	}
+}
+
+func TestFreeNeverEntersKernel(t *testing.T) {
+	m := newManager(t)
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.Alloc(0x1000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats().KernelCalls
+	m.ResetCycles()
+	if err := m.Free(sel); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().KernelCalls; got != before {
+		t.Fatal("Free must not enter the kernel")
+	}
+	if got := m.Cycles(); got != CostFree {
+		t.Fatalf("Free cycles = %d, want %d", got, CostFree)
+	}
+	// The descriptor stays in the LDT (freeing never modifies it).
+	if _, err := m.LDT().Lookup(sel); err != nil {
+		t.Fatalf("descriptor must remain after Free: %v", err)
+	}
+}
+
+// TestCacheReuse models the §3.6 scenario: a function with a local array
+// called repeatedly in a loop. After the first call every alloc of the
+// same (base, limit) hits the 3-entry cache and avoids the kernel.
+func TestCacheReuse(t *testing.T) {
+	m := newManager(t)
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		sel, err := m.Alloc(0xbff00000, 256) // same frame slot each call
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Free(sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.AllocRequests != rounds {
+		t.Fatalf("AllocRequests = %d, want %d", st.AllocRequests, rounds)
+	}
+	if st.KernelCalls != 1 {
+		t.Fatalf("KernelCalls = %d, want 1 (first alloc only)", st.KernelCalls)
+	}
+	if st.CacheHits != rounds-1 {
+		t.Fatalf("CacheHits = %d, want %d", st.CacheHits, rounds-1)
+	}
+	if got := st.HitRatio(); got < 0.98 {
+		t.Fatalf("HitRatio = %.3f, want ~0.99", got)
+	}
+}
+
+func TestCacheMissOnDifferentLimit(t *testing.T) {
+	m := newManager(t)
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.Alloc(0x1000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(sel); err != nil {
+		t.Fatal(err)
+	}
+	// Same base, different size: must not reuse the cached descriptor.
+	sel2, err := m.Alloc(0x1000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().CacheHits != 0 {
+		t.Fatal("different limit must miss the cache")
+	}
+	d, err := m.LDT().Lookup(sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ByteSize() != 128 {
+		t.Fatalf("descriptor size = %d, want 128", d.ByteSize())
+	}
+}
+
+func TestCacheHoldsThreeEntries(t *testing.T) {
+	m := newManager(t)
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	var sels []x86seg.Selector
+	for i := 0; i < 4; i++ {
+		sel, err := m.Alloc(uint32(0x1000*(i+1)), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sels = append(sels, sel)
+	}
+	for _, sel := range sels {
+		if err := m.Free(sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first-freed segment was evicted; re-allocating it misses.
+	kernelBefore := m.Stats().KernelCalls
+	if _, err := m.Alloc(0x1000, 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().KernelCalls; got != kernelBefore+1 {
+		t.Fatal("evicted segment must require a kernel call")
+	}
+	// The last three freed are still cached.
+	hitsBefore := m.Stats().CacheHits
+	for i := 1; i < 4; i++ {
+		if _, err := m.Alloc(uint32(0x1000*(i+1)), 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Stats().CacheHits - hitsBefore; got != 3 {
+		t.Fatalf("cache hits = %d, want 3", got)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	m := newManager(t)
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < UsableEntries; i++ {
+		if _, err := m.Alloc(uint32(i)*16, 16); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if m.Live() != UsableEntries {
+		t.Fatalf("Live = %d, want %d", m.Live(), UsableEntries)
+	}
+	_, err := m.Alloc(0xf0000000, 16)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("8192nd alloc: want ErrExhausted, got %v", err)
+	}
+}
+
+func TestExhaustionRecyclesCache(t *testing.T) {
+	m := newManager(t)
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	sels := make([]x86seg.Selector, 0, UsableEntries)
+	for i := 0; i < UsableEntries; i++ {
+		sel, err := m.Alloc(uint32(i)*16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sels = append(sels, sel)
+	}
+	// Free one; a non-matching alloc must still succeed by evicting the
+	// cached (free) entry rather than reporting exhaustion.
+	if err := m.Free(sels[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(0xf0000000, 4096); err != nil {
+		t.Fatalf("alloc after free must reuse the cached entry: %v", err)
+	}
+}
+
+func TestFreeValidation(t *testing.T) {
+	m := newManager(t)
+	if err := m.Free(x86seg.NewSelector(5, x86seg.GDT, 0)); err == nil {
+		t.Error("freeing a GDT selector must fail")
+	}
+	if err := m.Free(x86seg.NewSelector(CallGateEntry, x86seg.LDT, 0)); err == nil {
+		t.Error("freeing the call gate entry must fail")
+	}
+	if err := m.Free(x86seg.NewSelector(77, x86seg.LDT, 0)); err == nil {
+		t.Error("freeing a never-allocated entry must fail")
+	}
+}
+
+func TestPeakLiveTracking(t *testing.T) {
+	m := newManager(t)
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Alloc(0, 16)
+	b, _ := m.Alloc(16, 16)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().PeakLive; got != 2 {
+		t.Fatalf("PeakLive = %d, want 2", got)
+	}
+}
+
+// TestQuickFreeListConservation: any alloc/free interleaving conserves the
+// total entry count: live + immediately-available == 8191.
+func TestQuickFreeListConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		m := NewManager(x86seg.NewTable("LDT"))
+		if err := m.InstallCallGate(); err != nil {
+			return false
+		}
+		var live []x86seg.Selector
+		for i, alloc := range ops {
+			if alloc || len(live) == 0 {
+				sel, err := m.Alloc(uint32(i)*64, 64)
+				if err != nil {
+					return false
+				}
+				live = append(live, sel)
+			} else {
+				sel := live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := m.Free(sel); err != nil {
+					return false
+				}
+			}
+			if m.Live()+m.FreeEntries() != UsableEntries {
+				return false
+			}
+			if m.Live() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package mem provides a sparse model of 32-bit physical memory.
+//
+// The simulated machine addresses a full 4 GiB physical space, but real
+// workloads touch only a few megabytes, so storage is allocated lazily in
+// page-sized chunks. Physical memory itself never faults: protection is
+// enforced above it, by segmentation (internal/x86seg) and paging
+// (internal/paging).
+package mem
+
+// PageSize is the allocation granule of the sparse store. It matches the
+// x86 page size so the paging layer maps 1:1 onto backing chunks.
+const PageSize = 4096
+
+// Memory is a sparse byte-addressable 32-bit physical memory.
+// The zero value is ready to use. Memory is not safe for concurrent use.
+type Memory struct {
+	pages map[uint32]*[PageSize]byte
+}
+
+// New returns an empty physical memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, create bool) *[PageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint32]*[PageSize]byte)
+	}
+	pn := addr / PageSize
+	p, ok := m.pages[pn]
+	if !ok {
+		if !create {
+			return nil
+		}
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr. Unbacked memory reads as zero.
+func (m *Memory) Read8(addr uint32) uint8 {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr%PageSize]
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint32, v uint8) {
+	m.page(addr, true)[addr%PageSize] = v
+}
+
+// Read16 returns the little-endian 16-bit value at addr.
+// The access may straddle a page boundary.
+func (m *Memory) Read16(addr uint32) uint16 {
+	return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
+}
+
+// Write16 stores v little-endian at addr.
+func (m *Memory) Write16(addr uint32, v uint16) {
+	m.Write8(addr, uint8(v))
+	m.Write8(addr+1, uint8(v>>8))
+}
+
+// Read32 returns the little-endian 32-bit value at addr.
+func (m *Memory) Read32(addr uint32) uint32 {
+	if addr%PageSize <= PageSize-4 {
+		if p := m.page(addr, false); p != nil {
+			off := addr % PageSize
+			return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+		}
+		return 0
+	}
+	return uint32(m.Read16(addr)) | uint32(m.Read16(addr+2))<<16
+}
+
+// Write32 stores v little-endian at addr.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if addr%PageSize <= PageSize-4 {
+		p := m.page(addr, true)
+		off := addr % PageSize
+		p[off] = uint8(v)
+		p[off+1] = uint8(v >> 8)
+		p[off+2] = uint8(v >> 16)
+		p[off+3] = uint8(v >> 24)
+		return
+	}
+	m.Write16(addr, uint16(v))
+	m.Write16(addr+2, uint16(v>>16))
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Read8(addr + uint32(i))
+	}
+	return out
+}
+
+// WriteBytes stores b starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for i, v := range b {
+		m.Write8(addr+uint32(i), v)
+	}
+}
+
+// PagesAllocated reports how many backing pages have been materialised.
+// Useful for space-overhead accounting in benchmarks.
+func (m *Memory) PagesAllocated() int {
+	return len(m.pages)
+}
+
+// Reset drops all backing pages, returning the memory to all-zero.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint32]*[PageSize]byte)
+}

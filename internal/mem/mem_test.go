@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if got := m.Read32(0x1234); got != 0 {
+		t.Fatalf("unbacked read = %#x, want 0", got)
+	}
+	m.Write32(0x1234, 0xdeadbeef)
+	if got := m.Read32(0x1234); got != 0xdeadbeef {
+		t.Fatalf("Read32 = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New()
+	m.Write8(10, 0xab)
+	if got := m.Read8(10); got != 0xab {
+		t.Errorf("Read8 = %#x, want 0xab", got)
+	}
+	m.Write16(20, 0x1234)
+	if got := m.Read16(20); got != 0x1234 {
+		t.Errorf("Read16 = %#x, want 0x1234", got)
+	}
+	m.Write32(30, 0x89abcdef)
+	if got := m.Read32(30); got != 0x89abcdef {
+		t.Errorf("Read32 = %#x, want 0x89abcdef", got)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	m.Write32(0, 0x04030201)
+	for i := uint32(0); i < 4; i++ {
+		if got := m.Read8(i); got != uint8(i+1) {
+			t.Errorf("byte %d = %#x, want %#x", i, got, i+1)
+		}
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	addr := uint32(PageSize - 2) // 32-bit access straddles first page boundary
+	m.Write32(addr, 0xcafebabe)
+	if got := m.Read32(addr); got != 0xcafebabe {
+		t.Fatalf("straddling Read32 = %#x, want 0xcafebabe", got)
+	}
+	if got := m.PagesAllocated(); got != 2 {
+		t.Fatalf("PagesAllocated = %d, want 2", got)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	m := New()
+	data := []byte("segmentation hardware")
+	m.WriteBytes(0x2000, data)
+	if got := string(m.ReadBytes(0x2000, len(data))); got != string(data) {
+		t.Fatalf("ReadBytes = %q, want %q", got, data)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New()
+	m.Write32(0x100, 42)
+	m.Reset()
+	if got := m.Read32(0x100); got != 0 {
+		t.Fatalf("after Reset, Read32 = %d, want 0", got)
+	}
+	if got := m.PagesAllocated(); got != 0 {
+		t.Fatalf("after Reset, PagesAllocated = %d, want 0", got)
+	}
+}
+
+func TestSparseAllocation(t *testing.T) {
+	m := New()
+	m.Write8(0, 1)
+	m.Write8(0xfffffff0, 2) // far end of the 32-bit space
+	if got := m.PagesAllocated(); got != 2 {
+		t.Fatalf("PagesAllocated = %d, want 2", got)
+	}
+}
+
+func TestQuickWord32RoundTrip(t *testing.T) {
+	m := New()
+	f := func(addr, v uint32) bool {
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDisjointWritesIndependent(t *testing.T) {
+	f := func(a, b uint32, va, vb uint32) bool {
+		if a == b || (a < b && b-a < 4) || (b < a && a-b < 4) {
+			return true // overlapping accesses are allowed to interfere
+		}
+		m := New()
+		m.Write32(a, va)
+		m.Write32(b, vb)
+		return m.Read32(a) == va && m.Read32(b) == vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package minic
+
+// The mini-C abstract syntax tree. The parser produces it; Check resolves
+// names and annotates expressions with types; the code generators consume
+// it.
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+	// Source is retained for line counting (Table 4 / Table 7
+	// characteristics).
+	Source string
+}
+
+// StorageClass distinguishes where a variable lives.
+type StorageClass int
+
+// Storage classes.
+const (
+	StorageGlobal StorageClass = iota + 1
+	StorageLocal
+	StorageParam
+)
+
+// VarDecl declares a variable (global, local or parameter).
+type VarDecl struct {
+	Name     string
+	Type     *Type
+	Storage  StorageClass
+	Init     Expr   // scalar initialiser, or nil
+	InitList []Expr // array initialiser elements, or nil
+	InitStr  string // string initialiser for char arrays ("" if none)
+	Line     int
+
+	// Assigned by the code generator.
+	Addr   uint32 // globals: linear address
+	Offset int32  // locals/params: EBP offset
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a { ... } sequence.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares one or more local variables ("int x, y = 2;").
+type DeclStmt struct {
+	Decls []*VarDecl
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// ForStmt is a for loop. Init and Post may be nil; Cond may be nil
+// (infinite loop).
+type ForStmt struct {
+	Init Stmt // ExprStmt or DeclStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Line int
+}
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	X    Expr // nil for void return
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is implemented by all expression nodes. After Check, Type()
+// returns the expression's (decayed) type.
+type Expr interface {
+	exprNode()
+	Type() *Type
+	Pos() int
+}
+
+type exprBase struct {
+	typ  *Type
+	line int
+}
+
+func (e *exprBase) Type() *Type { return e.typ }
+func (e *exprBase) Pos() int    { return e.line }
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	exprBase
+	Value int32
+}
+
+// StringLit is a string literal; it denotes an anonymous global char
+// array and decays to char*.
+type StringLit struct {
+	exprBase
+	Value string
+	// Addr is assigned by the code generator.
+	Addr uint32
+}
+
+// VarRef references a declared variable.
+type VarRef struct {
+	exprBase
+	Name string
+	Decl *VarDecl // resolved by Check
+}
+
+// Unary is !x, -x, ~x, *p, &lv.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// IncDec is ++x, --x, x++, x--.
+type IncDec struct {
+	exprBase
+	Op   string // "++" or "--"
+	Post bool
+	X    Expr
+}
+
+// Binary is x op y for arithmetic, comparison, logical and shift
+// operators.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Assign is lv = x and the compound forms (+=, -=, ...).
+type Assign struct {
+	exprBase
+	Op  string // "=", "+=", ...
+	LHS Expr
+	RHS Expr
+}
+
+// Index is a[i]. After checking, Base has pointer type (arrays decay).
+type Index struct {
+	exprBase
+	Base  Expr
+	Index Expr
+}
+
+// Call invokes a function or builtin (malloc, free, printi, printc).
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	Decl *FuncDecl // resolved user function; nil for builtins
+}
+
+// Cast is (type)x.
+type Cast struct {
+	exprBase
+	To *Type
+	X  Expr
+}
+
+func (*NumberLit) exprNode() {}
+func (*StringLit) exprNode() {}
+func (*VarRef) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*IncDec) exprNode()    {}
+func (*Binary) exprNode()    {}
+func (*Assign) exprNode()    {}
+func (*Index) exprNode()     {}
+func (*Call) exprNode()      {}
+func (*Cast) exprNode()      {}

@@ -1,0 +1,229 @@
+package minic
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lex tokenises mini-C source. It supports //-comments, /* */-comments,
+// decimal and hex integers, character literals with the common escapes,
+// and string literals.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errf(startLine, startCol, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// multi-byte punctuation, longest first.
+var puncts = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",",
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+
+	case isDigit(c):
+		start := l.pos
+		base := 10
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			base = 16
+			l.advance()
+			l.advance()
+		}
+		for l.pos < len(l.src) && (isDigit(l.peek()) ||
+			(base == 16 && strings.ContainsRune("abcdefABCDEF", rune(l.peek())))) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		digits := text
+		if base == 16 {
+			digits = text[2:]
+		}
+		v, err := strconv.ParseUint(digits, base, 32)
+		if err != nil {
+			return Token{}, errf(line, col, "bad integer literal %q", text)
+		}
+		return Token{Kind: TokNumber, Text: text, Int: int32(uint32(v)), Line: line, Col: col}, nil
+
+	case c == '\'':
+		l.advance()
+		v, err := l.charValue(line, col)
+		if err != nil {
+			return Token{}, err
+		}
+		if l.pos >= len(l.src) || l.peek() != '\'' {
+			return Token{}, errf(line, col, "unterminated character literal")
+		}
+		l.advance()
+		return Token{Kind: TokCharLit, Text: string(rune(v)), Int: int32(v), Line: line, Col: col}, nil
+
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, errf(line, col, "unterminated string literal")
+			}
+			if l.peek() == '"' {
+				l.advance()
+				break
+			}
+			v, err := l.charValue(line, col)
+			if err != nil {
+				return Token{}, err
+			}
+			sb.WriteByte(byte(v))
+		}
+		return Token{Kind: TokString, Text: sb.String(), Line: line, Col: col}, nil
+	}
+
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			for range p {
+				l.advance()
+			}
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+	return Token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+// charValue reads one (possibly escaped) character from inside a char or
+// string literal.
+func (l *lexer) charValue(line, col int) (byte, error) {
+	if l.pos >= len(l.src) {
+		return 0, errf(line, col, "unterminated literal")
+	}
+	c := l.advance()
+	if c != '\\' {
+		return c, nil
+	}
+	if l.pos >= len(l.src) {
+		return 0, errf(line, col, "unterminated escape")
+	}
+	e := l.advance()
+	switch e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	default:
+		return 0, errf(line, col, "unknown escape \\%c", e)
+	}
+}

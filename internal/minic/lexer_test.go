@@ -1,0 +1,109 @@
+package minic
+
+import "testing"
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lex(t, "int main() { return 42; }")
+	want := []struct {
+		kind TokKind
+		text string
+	}{
+		{TokKeyword, "int"}, {TokIdent, "main"}, {TokPunct, "("}, {TokPunct, ")"},
+		{TokPunct, "{"}, {TokKeyword, "return"}, {TokNumber, "42"},
+		{TokPunct, ";"}, {TokPunct, "}"},
+	}
+	if len(toks) != len(want)+1 {
+		t.Fatalf("token count = %d, want %d", len(toks), len(want)+1)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int32
+	}{
+		{src: "0", want: 0},
+		{src: "12345", want: 12345},
+		{src: "0x10", want: 16},
+		{src: "0xffffffff", want: -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			toks := lex(t, tt.src)
+			if toks[0].Int != tt.want {
+				t.Fatalf("value = %d, want %d", toks[0].Int, tt.want)
+			}
+		})
+	}
+}
+
+func TestLexCharAndString(t *testing.T) {
+	toks := lex(t, `'a' '\n' '\0' "hi\tthere"`)
+	if toks[0].Int != 'a' || toks[1].Int != '\n' || toks[2].Int != 0 {
+		t.Fatalf("char literals = %d %d %d", toks[0].Int, toks[1].Int, toks[2].Int)
+	}
+	if toks[3].Kind != TokString || toks[3].Text != "hi\tthere" {
+		t.Fatalf("string = %q", toks[3].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(t, "a // line comment\n/* block\ncomment */ b")
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].Line != 3 {
+		t.Fatalf("b at line %d, want 3", toks[1].Line)
+	}
+}
+
+func TestLexMultiCharOperators(t *testing.T) {
+	toks := lex(t, "a <= b >> 2 != c++ && d")
+	want := []string{"a", "<=", "b", ">>", "2", "!=", "c", "++", "&&", "d"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Fatalf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	tests := []string{"@", "'x", `"abc`, "/* open", "'\\q'"}
+	for _, src := range tests {
+		t.Run(src, func(t *testing.T) {
+			if _, err := Lex(src); err == nil {
+				t.Fatalf("Lex(%q) succeeded, want error", src)
+			}
+		})
+	}
+}
+
+func TestLinePositions(t *testing.T) {
+	toks := lex(t, "a\n  b")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d, want 1:1", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	if got := LineCount("a\n\n  \nb\nc"); got != 3 {
+		t.Fatalf("LineCount = %d, want 3", got)
+	}
+}

@@ -1,0 +1,15 @@
+package minic
+
+import "strings"
+
+// LineCount returns the number of non-blank source lines, the measure the
+// paper's characteristics tables (Table 4, Table 7) report.
+func LineCount(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,291 @@
+package minic
+
+import "testing"
+
+func parse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func parseAndCheck(t *testing.T, src string) *Program {
+	t.Helper()
+	prog := parse(t, src)
+	if err := Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog := parse(t, `
+int x;
+int y = 5;
+int a[10];
+int b[3] = {1, 2, 3};
+char msg[6] = "hello";
+int *p;
+char **pp;
+void main() {}
+`)
+	if len(prog.Globals) != 7 {
+		t.Fatalf("globals = %d, want 7", len(prog.Globals))
+	}
+	tests := []struct {
+		idx  int
+		name string
+		typ  string
+	}{
+		{0, "x", "int"},
+		{1, "y", "int"},
+		{2, "a", "int[10]"},
+		{3, "b", "int[3]"},
+		{4, "msg", "char[6]"},
+		{5, "p", "int*"},
+		{6, "pp", "char**"},
+	}
+	for _, tt := range tests {
+		g := prog.Globals[tt.idx]
+		if g.Name != tt.name || g.Type.String() != tt.typ {
+			t.Errorf("global %d = %s %s, want %s %s", tt.idx, g.Type, g.Name, tt.typ, tt.name)
+		}
+	}
+	if prog.Globals[4].InitStr != "hello" {
+		t.Errorf("msg init = %q, want hello", prog.Globals[4].InitStr)
+	}
+	if len(prog.Globals[3].InitList) != 3 {
+		t.Errorf("b init list len = %d, want 3", len(prog.Globals[3].InitList))
+	}
+}
+
+func TestParseMultipleDeclarators(t *testing.T) {
+	prog := parseAndCheck(t, `
+int a, b = 2, *c;
+void main() { int x, y; x = 1; y = x; }
+`)
+	if len(prog.Globals) != 3 {
+		t.Fatalf("globals = %d, want 3", len(prog.Globals))
+	}
+	if prog.Globals[2].Type.String() != "int*" {
+		t.Fatalf("c type = %s, want int*", prog.Globals[2].Type)
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	prog := parse(t, `
+int add(int a, int b) { return a + b; }
+void noargs(void) {}
+int takesArray(int arr[], int n) { return arr[n]; }
+void main() {}
+`)
+	if len(prog.Funcs) != 4 {
+		t.Fatalf("funcs = %d, want 4", len(prog.Funcs))
+	}
+	add := prog.Funcs[0]
+	if add.Name != "add" || len(add.Params) != 2 || add.Ret != Int {
+		t.Fatalf("add = %+v", add)
+	}
+	if prog.Funcs[2].Params[0].Type.String() != "int*" {
+		t.Fatalf("array param type = %s, want int*", prog.Funcs[2].Params[0].Type)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	parseAndCheck(t, `
+int a[10];
+void main() {
+	int i;
+	int sum = 0;
+	for (i = 0; i < 10; i++) {
+		a[i] = i * i;
+	}
+	for (int j = 0; j < 10; j++) sum += a[j];
+	while (sum > 100) { sum = sum - 10; if (sum == 150) break; else continue; }
+	if (sum) printi(sum);
+}
+`)
+}
+
+func TestParsePointerOps(t *testing.T) {
+	parseAndCheck(t, `
+void main() {
+	int *p;
+	int x;
+	p = malloc(40);
+	*p = 5;
+	p[1] = 6;
+	p++;
+	++p;
+	p--;
+	x = *p + p[0];
+	p = &x;
+	p = (int*)malloc(8);
+	free(p);
+	printi(x);
+}
+`)
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := parseAndCheck(t, `
+void main() {
+	int x;
+	x = 1 + 2 * 3;
+	printi(x);
+}
+`)
+	// Walk to the assignment: x = 1 + (2*3)
+	body := prog.Funcs[0].Body
+	assign := body.Stmts[1].(*ExprStmt).X.(*Assign)
+	add := assign.RHS.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("top op = %s, want +", add.Op)
+	}
+	if mul, ok := add.Y.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("rhs of + must be the multiplication")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{name: "missing semicolon", src: "int x int y;"},
+		{name: "bad array length", src: "int a[x]; void main(){}"},
+		{name: "negative array length", src: "int a[0]; void main(){}"},
+		{name: "unterminated block", src: "void main() {"},
+		{name: "stray token", src: "void main() { 1 + ; }"},
+		{name: "missing paren", src: "void main() { if (1 {} }"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Fatalf("Parse succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{name: "no main", src: "int x;"},
+		{name: "undefined variable", src: "void main() { x = 1; }"},
+		{name: "undefined function", src: "void main() { foo(); }"},
+		{name: "duplicate global", src: "int x; int x; void main(){}"},
+		{name: "duplicate function", src: "void f(){} void f(){} void main(){}"},
+		{name: "void variable", src: "void x; void main(){}"},
+		{name: "assign to array", src: "int a[4]; int b[4]; void main() { a = b; }"},
+		{name: "assign to literal", src: "void main() { 3 = 4; }"},
+		{name: "deref int", src: "void main() { int x; *x = 1; }"},
+		{name: "index int", src: "void main() { int x; x[0] = 1; }"},
+		{name: "break outside loop", src: "void main() { break; }"},
+		{name: "continue outside loop", src: "void main() { continue; }"},
+		{name: "return value from void", src: "void main() { return 1; }"},
+		{name: "missing return value", src: "int f() { return; } void main(){}"},
+		{name: "wrong arg count", src: "int f(int a) { return a; } void main() { f(1,2); }"},
+		{name: "pointer to int assign", src: "void main() { int x; int *p; p = &x; x = p; }"},
+		{name: "string into int array", src: `int a[4] = "abc"; void main(){}`},
+		{name: "string too long", src: `char s[3] = "abc"; void main(){}`},
+		{name: "too many initialisers", src: "int a[2] = {1,2,3}; void main(){}"},
+		{name: "shadow builtin", src: "int malloc(int n) { return n; } void main(){}"},
+		{name: "duplicate param", src: "int f(int a, int a) { return a; } void main(){}"},
+		{name: "modulo pointer", src: "void main() { int *p; p = malloc(4); p = p % 2; }"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			prog, err := Parse(tt.src)
+			if err != nil {
+				return // parse-time rejection is fine too
+			}
+			if err := Check(prog); err == nil {
+				t.Fatalf("Check succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestCheckTypes(t *testing.T) {
+	prog := parseAndCheck(t, `
+int g[8];
+int sum(int *p, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) s += p[i];
+	return s;
+}
+void main() {
+	printi(sum(g, 8));
+	printi(sum(&g[2], 4));
+}
+`)
+	fn := prog.Funcs[0]
+	// p[i] has type int after decay.
+	forStmt := fn.Body.Stmts[1].(*ForStmt)
+	assign := forStmt.Body.(*ExprStmt).X.(*Assign)
+	idx := assign.RHS.(*Index)
+	if idx.Type() != Int {
+		t.Fatalf("p[i] type = %s, want int", idx.Type())
+	}
+	if idx.Base.Type().String() != "int*" {
+		t.Fatalf("p type = %s, want int*", idx.Base.Type())
+	}
+}
+
+func TestCheckArrayDecay(t *testing.T) {
+	prog := parseAndCheck(t, `
+int a[10];
+void main() {
+	int *p;
+	p = a;
+	p = a + 2;
+	printi(p[0]);
+}
+`)
+	main := prog.Funcs[0]
+	assign := main.Body.Stmts[1].(*ExprStmt).X.(*Assign)
+	if assign.RHS.Type().String() != "int*" {
+		t.Fatalf("array decays to %s, want int*", assign.RHS.Type())
+	}
+}
+
+func TestCheckScoping(t *testing.T) {
+	// The inner x shadows the outer; both uses must resolve.
+	prog := parseAndCheck(t, `
+int x = 1;
+void main() {
+	printi(x);
+	{
+		int x = 2;
+		printi(x);
+	}
+	printi(x);
+}
+`)
+	main := prog.Funcs[0]
+	outer := main.Body.Stmts[0].(*ExprStmt).X.(*Call).Args[0].(*VarRef)
+	inner := main.Body.Stmts[1].(*BlockStmt).Stmts[1].(*ExprStmt).X.(*Call).Args[0].(*VarRef)
+	if outer.Decl == inner.Decl {
+		t.Fatal("inner x must shadow outer x")
+	}
+	if outer.Decl.Storage != StorageGlobal || inner.Decl.Storage != StorageLocal {
+		t.Fatal("storage classes wrong")
+	}
+}
+
+func TestPointerDifference(t *testing.T) {
+	parseAndCheck(t, `
+void main() {
+	int *p;
+	int *q;
+	p = malloc(40);
+	q = p + 5;
+	printi(q - p);
+}
+`)
+}

@@ -1,0 +1,86 @@
+// Package minic implements the front end of the Cash reproduction
+// compiler: a lexer, parser and type checker for mini-C, the C subset the
+// paper's workloads are written in.
+//
+// mini-C has int (32-bit signed), char (8-bit unsigned), void, pointers
+// and one-dimensional arrays; functions; the usual statements (if, while,
+// for, break, continue, return) and operators; the built-ins malloc, free,
+// printi and printc. Multi-dimensional data uses manual row-major
+// indexing, as the paper's kernels do. Floating-point kernels are ported
+// to 16.16 fixed point (documented substitution — the checked array
+// reference structure is unchanged).
+package minic
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokNumber
+	TokCharLit
+	TokString
+	TokKeyword
+	TokPunct
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokCharLit:
+		return "character literal"
+	case TokString:
+		return "string literal"
+	case TokKeyword:
+		return "keyword"
+	case TokPunct:
+		return "punctuation"
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int32 // value for TokNumber and TokCharLit
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+}
+
+// Error is a front-end diagnostic carrying source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,105 @@
+package minic
+
+import "fmt"
+
+// TypeKind classifies mini-C types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeInt TypeKind = iota + 1
+	TypeChar
+	TypeVoid
+	TypePointer
+	TypeArray
+)
+
+// Type is a mini-C type. Int, Char and Void are interned singletons;
+// compose pointers and arrays with PointerTo and ArrayOf.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // pointer target / array element
+	Len  int   // array length
+}
+
+// Singleton base types.
+var (
+	Int  = &Type{Kind: TypeInt}
+	Char = &Type{Kind: TypeChar}
+	Void = &Type{Kind: TypeVoid}
+)
+
+// PointerTo returns the type "pointer to elem".
+func PointerTo(elem *Type) *Type { return &Type{Kind: TypePointer, Elem: elem} }
+
+// ArrayOf returns the type "array of n elem".
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: TypeArray, Elem: elem, Len: n} }
+
+// Size returns the logical object size in bytes: int 4, char 1, pointer 4
+// (value word only — the fat-pointer representations of BCC and Cash are a
+// code-generation concern, not a language one), arrays elem*len.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeInt:
+		return 4
+	case TypeChar:
+		return 1
+	case TypePointer:
+		return 4
+	case TypeArray:
+		return t.Elem.Size() * t.Len
+	default:
+		return 0
+	}
+}
+
+// IsPointerLike reports whether t is a pointer or decays to one.
+func (t *Type) IsPointerLike() bool {
+	return t.Kind == TypePointer || t.Kind == TypeArray
+}
+
+// IsArith reports whether t participates in integer arithmetic.
+func (t *Type) IsArith() bool { return t.Kind == TypeInt || t.Kind == TypeChar }
+
+// Decay returns the expression type after array-to-pointer decay.
+func (t *Type) Decay() *Type {
+	if t.Kind == TypeArray {
+		return PointerTo(t.Elem)
+	}
+	return t
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TypePointer:
+		return t.Elem.Equal(u.Elem)
+	case TypeArray:
+		return t.Len == u.Len && t.Elem.Equal(u.Elem)
+	default:
+		return true
+	}
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeVoid:
+		return "void"
+	case TypePointer:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	default:
+		return fmt.Sprintf("type(%d)", int(t.Kind))
+	}
+}

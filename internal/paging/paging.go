@@ -1,0 +1,127 @@
+// Package paging models the fixed-size-page half of IA-32 virtual memory:
+// a two-level page table that translates 32-bit linear addresses (produced
+// by segmentation, see internal/x86seg) into physical addresses.
+//
+// The most significant 10 bits of a linear address index the page
+// directory, the next 10 bits index a page table, and the low 12 bits are
+// the offset within a 4 KiB page — the pipeline of Figure 1 in the paper.
+package paging
+
+import "fmt"
+
+const (
+	// PageSize is the x86 page size.
+	PageSize = 4096
+	// EntriesPerTable is the number of entries in the page directory and
+	// in each page table (10 index bits).
+	EntriesPerTable = 1024
+)
+
+// PageFault is the error returned when a linear address has no valid
+// mapping or the access violates page-level protection.
+type PageFault struct {
+	Linear uint32
+	Write  bool
+	Detail string
+}
+
+func (f *PageFault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("#PF: %s of linear %#x: %s", kind, f.Linear, f.Detail)
+}
+
+// entry is a page-table or page-directory entry.
+type entry struct {
+	frame    uint32 // physical frame number
+	present  bool
+	writable bool
+}
+
+// pageTable is one second-level table mapping 1024 pages.
+type pageTable struct {
+	entries [EntriesPerTable]entry
+}
+
+// Directory is a two-level page table. The zero value has no mappings;
+// use Map or NewIdentity to install them.
+type Directory struct {
+	tables [EntriesPerTable]*pageTable
+	walks  uint64 // table walks performed (stats)
+}
+
+// NewIdentity returns a directory that identity-maps the first n bytes of
+// the linear address space read-write. n is rounded up to a whole page.
+func NewIdentity(n uint32) *Directory {
+	d := &Directory{}
+	pages := (uint64(n) + PageSize - 1) / PageSize
+	for p := uint64(0); p < pages; p++ {
+		lin := uint32(p * PageSize)
+		d.Map(lin, lin, true)
+	}
+	return d
+}
+
+// Map installs a mapping from the page containing linear to the physical
+// frame containing phys. Both addresses are truncated to page boundaries.
+func (d *Directory) Map(linear, phys uint32, writable bool) {
+	dirIdx := linear >> 22
+	tblIdx := (linear >> 12) & 0x3ff
+	t := d.tables[dirIdx]
+	if t == nil {
+		t = &pageTable{}
+		d.tables[dirIdx] = t
+	}
+	t.entries[tblIdx] = entry{frame: phys >> 12, present: true, writable: writable}
+}
+
+// Unmap removes the mapping for the page containing linear.
+func (d *Directory) Unmap(linear uint32) {
+	dirIdx := linear >> 22
+	tblIdx := (linear >> 12) & 0x3ff
+	if t := d.tables[dirIdx]; t != nil {
+		t.entries[tblIdx] = entry{}
+	}
+}
+
+// Translate walks the two-level table and returns the physical address for
+// a linear address, or a *PageFault.
+func (d *Directory) Translate(linear uint32, write bool) (uint32, error) {
+	d.walks++
+	dirIdx := linear >> 22
+	tblIdx := (linear >> 12) & 0x3ff
+	off := linear & 0xfff
+	t := d.tables[dirIdx]
+	if t == nil {
+		return 0, &PageFault{Linear: linear, Write: write, Detail: "page directory entry not present"}
+	}
+	e := t.entries[tblIdx]
+	if !e.present {
+		return 0, &PageFault{Linear: linear, Write: write, Detail: "page table entry not present"}
+	}
+	if write && !e.writable {
+		return 0, &PageFault{Linear: linear, Write: write, Detail: "write to read-only page"}
+	}
+	return e.frame<<12 | off, nil
+}
+
+// Walks returns the number of translations performed, for statistics.
+func (d *Directory) Walks() uint64 { return d.walks }
+
+// MappedPages returns how many pages currently have a present mapping.
+func (d *Directory) MappedPages() int {
+	n := 0
+	for _, t := range d.tables {
+		if t == nil {
+			continue
+		}
+		for _, e := range t.entries {
+			if e.present {
+				n++
+			}
+		}
+	}
+	return n
+}

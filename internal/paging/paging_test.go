@@ -1,0 +1,97 @@
+package paging
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityMap(t *testing.T) {
+	d := NewIdentity(64 * 1024)
+	for _, lin := range []uint32{0, 1, PageSize - 1, PageSize, 64*1024 - 1} {
+		got, err := d.Translate(lin, true)
+		if err != nil {
+			t.Fatalf("Translate(%#x): %v", lin, err)
+		}
+		if got != lin {
+			t.Fatalf("Translate(%#x) = %#x, want identity", lin, got)
+		}
+	}
+	if got := d.MappedPages(); got != 16 {
+		t.Fatalf("MappedPages = %d, want 16", got)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	d := NewIdentity(PageSize)
+	_, err := d.Translate(PageSize, false)
+	var pf *PageFault
+	if !errors.As(err, &pf) {
+		t.Fatalf("want *PageFault, got %v", err)
+	}
+	if pf.Linear != PageSize {
+		t.Errorf("fault linear = %#x, want %#x", pf.Linear, PageSize)
+	}
+}
+
+func TestNonIdentityMapping(t *testing.T) {
+	var d Directory
+	d.Map(0x40000000, 0x2000, true) // high linear page -> low physical frame
+	got, err := d.Translate(0x40000123, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x2123 {
+		t.Fatalf("Translate = %#x, want 0x2123", got)
+	}
+}
+
+func TestReadOnlyPage(t *testing.T) {
+	var d Directory
+	d.Map(0, 0, false)
+	if _, err := d.Translate(0x10, false); err != nil {
+		t.Fatalf("read of read-only page: %v", err)
+	}
+	if _, err := d.Translate(0x10, true); err == nil {
+		t.Fatal("write to read-only page must fault")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	var d Directory
+	d.Map(0x5000, 0x5000, true)
+	if _, err := d.Translate(0x5000, false); err != nil {
+		t.Fatal(err)
+	}
+	d.Unmap(0x5000)
+	if _, err := d.Translate(0x5000, false); err == nil {
+		t.Fatal("unmapped page must fault")
+	}
+}
+
+func TestWalkCounter(t *testing.T) {
+	d := NewIdentity(PageSize)
+	before := d.Walks()
+	_, _ = d.Translate(0, false)
+	_, _ = d.Translate(PageSize*10, false) // faulting walks count too
+	if got := d.Walks() - before; got != 2 {
+		t.Fatalf("Walks delta = %d, want 2", got)
+	}
+}
+
+// TestQuickPageOffsetPreserved: translation never alters the low 12 bits.
+func TestQuickPageOffsetPreserved(t *testing.T) {
+	f := func(linPage uint32, off uint16, physPage uint32) bool {
+		var d Directory
+		lin := (linPage << 12) | uint32(off)&0xfff
+		d.Map(lin, physPage<<12, true)
+		got, err := d.Translate(lin, true)
+		if err != nil {
+			return false
+		}
+		return got&0xfff == lin&0xfff && got>>12 == physPage&0xfffff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

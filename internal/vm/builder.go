@@ -1,0 +1,120 @@
+package vm
+
+import "fmt"
+
+// Builder assembles a Program incrementally, resolving symbolic labels and
+// function names to instruction indices. It is the interface the code
+// generators (and hand-written test programs) emit through.
+type Builder struct {
+	instrs  []Instr
+	labels  map[string]int
+	funcs   map[string]int
+	fixups  []fixup
+	pending []string // labels waiting to bind to the next instruction
+	errs    []error
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels: make(map[string]int),
+		funcs:  make(map[string]int),
+	}
+}
+
+// Emit appends an instruction and returns its index.
+func (b *Builder) Emit(in Instr) int {
+	idx := len(b.instrs)
+	if len(b.pending) > 0 {
+		in.Label = b.pending[0]
+		b.pending = b.pending[:0]
+	}
+	b.instrs = append(b.instrs, in)
+	return idx
+}
+
+// Op emits a two-operand instruction.
+func (b *Builder) Op(op Op, dst, src Operand) int {
+	return b.Emit(Instr{Op: op, Dst: dst, Src: src})
+}
+
+// Op1 emits a one-operand instruction (PUSH uses Src, POP/NEG/NOT use Dst).
+func (b *Builder) Op1(op Op, o Operand) int {
+	switch op {
+	case PUSH:
+		return b.Emit(Instr{Op: op, Src: o})
+	default:
+		return b.Emit(Instr{Op: op, Dst: o})
+	}
+}
+
+// Label binds a symbolic label to the next emitted instruction.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.instrs)
+	b.pending = append(b.pending, name)
+}
+
+// Func binds a function name to the next emitted instruction.
+func (b *Builder) Func(name string) {
+	if _, dup := b.funcs[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate function %q", name))
+		return
+	}
+	b.funcs[name] = len(b.instrs)
+	b.Label("fn_" + name)
+}
+
+// Jump emits a branch to a label (forward references allowed).
+func (b *Builder) Jump(op Op, label string) int {
+	idx := b.Emit(Instr{Op: op, Sym: label})
+	b.fixups = append(b.fixups, fixup{instr: idx, label: label})
+	return idx
+}
+
+// Call emits a call to a named function.
+func (b *Builder) Call(name string) int {
+	idx := b.Emit(Instr{Op: CALL, Sym: name})
+	b.fixups = append(b.fixups, fixup{instr: idx, label: "fn_" + name})
+	return idx
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.instrs) }
+
+// Instr returns a pointer to an already-emitted instruction, allowing
+// back-patching of notes.
+func (b *Builder) Instr(i int) *Instr { return &b.instrs[i] }
+
+// Finish resolves all fixups and returns the assembled program skeleton.
+// The caller fills in data image and entry metadata.
+func (b *Builder) Finish(name string) (*Program, error) {
+	if len(b.pending) > 0 {
+		// Bind trailing labels to a final halt so jumps to "end" work.
+		b.Emit(Instr{Op: HLT})
+	}
+	for _, e := range b.errs {
+		return nil, e
+	}
+	for _, f := range b.fixups {
+		tgt, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", f.label)
+		}
+		b.instrs[f.instr].Target = tgt
+	}
+	return &Program{
+		Name:   name,
+		Instrs: b.instrs,
+		Funcs:  b.funcs,
+		Stats:  make(map[string]uint64),
+	}, nil
+}

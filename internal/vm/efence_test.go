@@ -1,0 +1,110 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+)
+
+// Tests for the Electric Fence malloc debugger model (§2 related work).
+
+func efenceProg(t *testing.T, n, writes int32) *Program {
+	t.Helper()
+	return buildProg(t, func(b *Builder) {
+		b.Op(MOV, R(EAX), I(n))
+		b.Emit(Instr{Op: HCALL, Src: I(HostMalloc)})
+		b.Op(MOV, R(EBX), R(EAX)) // base pointer
+		b.Op(MOV, R(ECX), I(0))   // byte index
+		b.Label("loop")
+		b.Op(CMP, R(ECX), I(writes))
+		b.Jump(JGE, "done")
+		b.Emit(Instr{Op: MOV,
+			Dst:  M(MemRef{Base: EBX, HasBase: true, Index: ECX, HasIndex: true, Scale: 1}),
+			Src:  I('A'),
+			Size: 1,
+		})
+		b.Op(ADD, R(ECX), I(1))
+		b.Jump(JMP, "loop")
+		b.Label("done")
+		b.Emit(Instr{Op: HLT})
+	})
+}
+
+func TestEFenceInBoundsPasses(t *testing.T) {
+	p := efenceProg(t, 100, 100)
+	res, err := run(t, p, ModeGCC, WithPaging(1<<24), WithElectricFence())
+	if err != nil {
+		t.Fatalf("in-bounds writes must pass: %v", err)
+	}
+	if res.Stats.Instructions == 0 {
+		t.Fatal("program must have run")
+	}
+}
+
+func TestEFenceOverflowPageFaults(t *testing.T) {
+	p := efenceProg(t, 100, 101) // one byte past the end
+	_, err := run(t, p, ModeGCC, WithPaging(1<<24), WithElectricFence())
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultPage {
+		t.Fatalf("overflow into the guard page must page-fault, got %v", err)
+	}
+}
+
+func TestEFenceObjectEndsAtPageBoundary(t *testing.T) {
+	p := buildProg(t, func(b *Builder) {
+		b.Op(MOV, R(EAX), I(100))
+		b.Emit(Instr{Op: HCALL, Src: I(HostMalloc)})
+		b.Emit(Instr{Op: HCALL, Src: I(HostPrintInt)})
+		b.Emit(Instr{Op: HLT})
+	})
+	res := mustRun(t, p, ModeGCC, WithPaging(1<<24), WithElectricFence())
+	ptr := uint32(res.Output[0])
+	if (ptr+100)%4096 != 0 {
+		t.Fatalf("object end %#x must sit on a page boundary", ptr+100)
+	}
+}
+
+func TestEFenceRequiresPaging(t *testing.T) {
+	p := efenceProg(t, 16, 1)
+	_, err := run(t, p, ModeGCC, WithElectricFence())
+	if err == nil {
+		t.Fatal("electric fence without paging must fail")
+	}
+}
+
+// TestEFenceSpaceConsumption demonstrates the paper's critique: the
+// page-per-object layout burns vastly more address space than Cash's
+// byte-granular segments.
+func TestEFenceSpaceConsumption(t *testing.T) {
+	alloc := func(opts ...Option) *Machine {
+		p := buildProg(t, func(b *Builder) {
+			b.Op(MOV, R(ECX), I(0))
+			b.Label("loop")
+			b.Op(CMP, R(ECX), I(50))
+			b.Jump(JGE, "done")
+			b.Op1(PUSH, R(ECX))
+			b.Op(MOV, R(EAX), I(16)) // tiny allocations
+			b.Emit(Instr{Op: HCALL, Src: I(HostMalloc)})
+			b.Op1(POP, R(ECX))
+			b.Op(ADD, R(ECX), I(1))
+			b.Jump(JMP, "loop")
+			b.Label("done")
+			b.Emit(Instr{Op: HLT})
+		})
+		m, err := New(p, ModeGCC, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain := alloc()
+	fenced := alloc(WithPaging(1<<24), WithElectricFence())
+	plainSpan := plain.heap - plain.prog.HeapBase
+	fencedSpan := fenced.heap - fenced.prog.HeapBase
+	// 50 x 16 bytes: ~800 bytes plain, ~50 x 8 KiB fenced.
+	if fencedSpan < 100*plainSpan {
+		t.Fatalf("electric fence span %d must dwarf plain span %d", fencedSpan, plainSpan)
+	}
+}

@@ -1,0 +1,189 @@
+package vm
+
+import "cash/internal/x86seg"
+
+// Encoded-size model.
+//
+// Tables 2 and 6 of the paper compare *binary sizes* of the three
+// compilers' output. We do not emit real machine code, so each ISA
+// instruction carries an x86-flavoured encoding-length estimate: opcode +
+// ModRM + SIB + displacement + immediate + prefixes. The estimate follows
+// IA-32 encoding rules closely enough that the relative code-size growth
+// of the check sequences matches the paper's.
+
+func memBytes(m MemRef) int {
+	n := 1 // ModRM
+	if m.HasIndex {
+		n++ // SIB
+	}
+	switch {
+	case m.Disp == 0 && m.HasBase:
+		// no displacement
+	case m.Disp >= -128 && m.Disp <= 127 && m.HasBase:
+		n++ // disp8
+	default:
+		n += 4 // disp32
+	}
+	if m.Seg != x86seg.DS && m.Seg != x86seg.SS {
+		n++ // segment-override prefix
+	}
+	return n
+}
+
+func immBytes(v int32) int {
+	if v >= -128 && v <= 127 {
+		return 1
+	}
+	return 4
+}
+
+func operandBytes(o Operand) int {
+	switch o.Kind {
+	case KindMem:
+		return memBytes(o.Mem)
+	case KindImm:
+		return immBytes(o.Imm)
+	default:
+		return 0
+	}
+}
+
+// EncodedSize estimates the IA-32 encoding length of the instruction in
+// bytes.
+func (in Instr) EncodedSize() int {
+	prefix := 0
+	if in.Size == 2 {
+		prefix = 1 // operand-size override
+	}
+	switch in.Op {
+	case NOP, HLT, RET:
+		return 1
+	case TRAP:
+		return 2 // ud2
+	case INT:
+		return 2
+	case LCALL:
+		return 7 // far call with 16:32 pointer
+	case HCALL, CALL:
+		return 5 // call rel32
+	case JMP, JE, JNE, JL, JLE, JG, JGE, JB, JAE, JA, JBE:
+		// Minimal (short, rel8) form; Layout applies branch relaxation
+		// and widens to the rel32 form when the target is out of range.
+		return 2
+	case PUSH:
+		switch in.Src.Kind {
+		case KindReg:
+			return 1
+		case KindImm:
+			return 1 + immBytes(in.Src.Imm)
+		default:
+			return 2 + memBytes(in.Src.Mem)
+		}
+	case POP:
+		if in.Dst.Kind == KindReg {
+			return 1
+		}
+		return 2 + memBytes(in.Dst.Mem)
+	case MOVSR, MOVRS:
+		n := 1 + prefix
+		if in.Src.Kind != KindMem && in.Dst.Kind != KindMem {
+			n++ // ModRM for the register form
+		}
+		if in.Src.Kind == KindMem {
+			n += memBytes(in.Src.Mem)
+		}
+		if in.Dst.Kind == KindMem {
+			n += memBytes(in.Dst.Mem)
+		}
+		return n
+	case BOUND:
+		return 1 + memBytes(in.Src.Mem)
+	case MOV:
+		if in.Src.Kind == KindImm && in.Dst.Kind == KindReg {
+			return 5 + prefix // mov reg, imm32 (b8+r)
+		}
+		n := 1 + prefix // opcode; ModRM is part of memBytes for memory forms
+		if in.Src.Kind != KindMem && in.Dst.Kind != KindMem {
+			n++ // ModRM for the register form
+		}
+		n += operandBytes(in.Src) + operandBytes(in.Dst)
+		if in.Src.Kind == KindImm {
+			n += 3 // mov to r/m takes a full imm32 (c7 /0)
+		}
+		return n
+	default: // ALU, LEA, CMP, TEST, shifts
+		n := 1 + prefix
+		if in.Src.Kind != KindMem && in.Dst.Kind != KindMem {
+			n++ // ModRM for the register form
+		}
+		n += operandBytes(in.Src) + operandBytes(in.Dst)
+		return n
+	}
+}
+
+func isBranch(op Op) bool {
+	switch op {
+	case JMP, JE, JNE, JL, JLE, JG, JGE, JB, JAE, JA, JBE:
+		return true
+	default:
+		return false
+	}
+}
+
+// longBranchExtra is the size penalty of the rel32 branch form over the
+// rel8 form: jcc rel32 is 6 bytes vs 2, jmp rel32 is 5 bytes vs 2.
+func longBranchExtra(op Op) int {
+	if op == JMP {
+		return 3
+	}
+	return 4
+}
+
+// Layout performs branch relaxation and returns the byte offset of each
+// instruction plus the total text size. Branches start in their short
+// (rel8) form and are widened to rel32 until a fixpoint — this is what
+// makes the bound-check branches to the shared trap cost their true
+// near-jump size, a visible share of BCC's code growth.
+func (p *Program) Layout() ([]int, int) {
+	n := len(p.Instrs)
+	long := make([]bool, n)
+	offsets := make([]int, n)
+	var total int
+	for pass := 0; pass < 32; pass++ {
+		total = 0
+		for i, in := range p.Instrs {
+			offsets[i] = total
+			sz := in.EncodedSize()
+			if long[i] {
+				sz += longBranchExtra(in.Op)
+			}
+			total += sz
+		}
+		changed := false
+		for i, in := range p.Instrs {
+			if !isBranch(in.Op) || long[i] {
+				continue
+			}
+			if in.Target < 0 || in.Target >= n {
+				continue
+			}
+			// rel8 displacement is measured from the end of the branch.
+			disp := offsets[in.Target] - (offsets[i] + 2)
+			if disp < -128 || disp > 127 {
+				long[i] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return offsets, total
+}
+
+// CodeSize returns the estimated encoded size of the program text in
+// bytes, after branch relaxation.
+func (p *Program) CodeSize() int {
+	_, total := p.Layout()
+	return total
+}

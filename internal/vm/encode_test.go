@@ -1,0 +1,149 @@
+package vm
+
+import (
+	"testing"
+
+	"cash/internal/x86seg"
+)
+
+func TestEncodedSizes(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Instr
+		want int
+	}{
+		{name: "nop", in: Instr{Op: NOP}, want: 1},
+		{name: "ret", in: Instr{Op: RET}, want: 1},
+		{name: "trap", in: Instr{Op: TRAP}, want: 2},
+		{name: "int", in: Instr{Op: INT, Src: I(0x80)}, want: 2},
+		{name: "lcall", in: Instr{Op: LCALL, Src: I(7)}, want: 7},
+		{name: "call", in: Instr{Op: CALL}, want: 5},
+		{name: "mov reg imm", in: Instr{Op: MOV, Dst: R(EAX), Src: I(1234)}, want: 5},
+		{name: "mov reg reg", in: Instr{Op: MOV, Dst: R(EAX), Src: R(EBX)}, want: 2},
+		{name: "push reg", in: Instr{Op: PUSH, Src: R(EAX)}, want: 1},
+		{name: "push imm8", in: Instr{Op: PUSH, Src: I(5)}, want: 2},
+		{name: "push imm32", in: Instr{Op: PUSH, Src: I(100000)}, want: 5},
+		{name: "pop reg", in: Instr{Op: POP, Dst: R(EAX)}, want: 1},
+		{
+			name: "mov with small disp",
+			in:   Instr{Op: MOV, Dst: R(EAX), Src: M(MemRef{Seg: x86seg.DS, Base: EBX, HasBase: true, Disp: 8})},
+			want: 3, // opcode + ModRM + disp8 (8b 43 08)
+		},
+		{
+			name: "mov with large disp",
+			in:   Instr{Op: MOV, Dst: R(EAX), Src: M(MemRef{Seg: x86seg.DS, Base: EBX, HasBase: true, Disp: 100000})},
+			want: 6, // opcode + ModRM + disp32
+		},
+		{
+			name: "segment override adds a prefix byte",
+			in:   Instr{Op: MOV, Dst: R(EAX), Src: M(MemRef{Seg: x86seg.GS, Base: EBX, HasBase: true, Disp: 8})},
+			want: 4,
+		},
+		{
+			name: "SIB byte for indexed form",
+			in:   Instr{Op: MOV, Dst: R(EAX), Src: M(MemRef{Seg: x86seg.DS, Base: EBX, HasBase: true, Index: ECX, HasIndex: true, Scale: 4})},
+			want: 3, // opcode + ModRM + SIB
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.in.EncodedSize(); got != tt.want {
+				t.Fatalf("EncodedSize = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestBranchRelaxationShort: a tight loop keeps its rel8 branches.
+func TestBranchRelaxationShort(t *testing.T) {
+	b := NewBuilder()
+	b.Label("top")
+	b.Op(ADD, R(EAX), I(1))
+	b.Op(CMP, R(EAX), I(10))
+	b.Jump(JL, "top")
+	b.Emit(Instr{Op: HLT})
+	p, err := b.Finish("short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, total := p.Layout()
+	// add(3) + cmp(3) + jl short(2) + hlt(1)
+	if total != 9 {
+		t.Fatalf("total = %d, want 9 (short branch)", total)
+	}
+}
+
+// TestBranchRelaxationLong: a branch over >127 bytes widens to rel32.
+func TestBranchRelaxationLong(t *testing.T) {
+	b := NewBuilder()
+	b.Jump(JE, "far")
+	for i := 0; i < 60; i++ {
+		b.Op(MOV, R(EAX), I(1000)) // 5 bytes each
+	}
+	b.Label("far")
+	b.Emit(Instr{Op: HLT})
+	p, err := b.Finish("long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets, total := p.Layout()
+	// The jcc must be the 6-byte near form: everything shifts by 4.
+	if offsets[1] != 6 {
+		t.Fatalf("first instruction after the branch at %d, want 6 (jcc rel32)", offsets[1])
+	}
+	if total != 6+60*5+1 {
+		t.Fatalf("total = %d, want %d", total, 6+60*5+1)
+	}
+}
+
+// TestRelaxationFixpoint: widening one branch can push another out of
+// range; the layout must converge, not oscillate.
+func TestRelaxationFixpoint(t *testing.T) {
+	b := NewBuilder()
+	// Two branches whose targets are ~127 bytes away, separated by
+	// filler so that widening the first pushes the second over the edge.
+	b.Jump(JE, "mid")
+	for i := 0; i < 24; i++ {
+		b.Op(MOV, R(EAX), I(1000))
+	}
+	b.Jump(JNE, "end")
+	b.Label("mid")
+	for i := 0; i < 24; i++ {
+		b.Op(MOV, R(EBX), I(1000))
+	}
+	b.Label("end")
+	b.Emit(Instr{Op: HLT})
+	p, err := b.Finish("fixpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets, total := p.Layout()
+	if total <= 0 {
+		t.Fatal("layout must produce a positive size")
+	}
+	// Offsets must be strictly increasing.
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] <= offsets[i-1] {
+			t.Fatalf("offsets not monotone at %d: %v", i, offsets[:i+1])
+		}
+	}
+}
+
+func TestDisassemblyStrings(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: MOV, Dst: R(EAX), Src: I(10)}, "\tmovl\t$10, %eax"},
+		{Instr{Op: MOV, Dst: R(EAX), Src: M(MemRef{Seg: x86seg.SS, Base: EBP, HasBase: true, Disp: -8}), Size: 1}, "\tmovb\t-8(%ebp), %eax"},
+		{Instr{Op: MOV, Dst: M(MemRef{Seg: x86seg.GS, Base: EDX, HasBase: true, Index: EAX, HasIndex: true, Scale: 4}), Src: I(10)}, "\tmovl\t$10, %gs:(%edx,%eax,4)"},
+		{Instr{Op: JMP, Sym: ".loop"}, "\tjmp\t.loop"},
+		{Instr{Op: INT, Src: I(0x80)}, "\tint\t$128"},
+		{Instr{Op: RET}, "\tret"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

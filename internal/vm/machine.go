@@ -1,0 +1,702 @@
+package vm
+
+import (
+	"fmt"
+
+	"cash/internal/ldt"
+	"cash/internal/mem"
+	"cash/internal/paging"
+	"cash/internal/x86seg"
+)
+
+// Mode identifies which compiler produced the program being run; it
+// selects the behaviour of the runtime library services (chiefly malloc's
+// object layout).
+type Mode int
+
+// Compiler modes.
+const (
+	// ModeGCC is the unchecked baseline.
+	ModeGCC Mode = iota + 1
+	// ModeBCC is software-only bound checking (3-word pointers,
+	// 6-instruction checks).
+	ModeBCC
+	// ModeCash is segmentation-hardware bound checking (2-word pointers,
+	// 3-word info structures, per-array segments).
+	ModeCash
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeGCC:
+		return "gcc"
+	case ModeBCC:
+		return "bcc"
+	case ModeCash:
+		return "cash"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// GDT layout used by the simulated OS.
+const (
+	gdtFlatCode = 1
+	gdtFlatData = 2
+)
+
+// FlatCodeSelector and FlatDataSelector are the flat 4 GiB segments the
+// simulated Linux kernel installs; FlatDataSelector is also Cash's "global
+// segment" fall-back when the LDT is exhausted (§3.4).
+var (
+	FlatCodeSelector = x86seg.NewSelector(gdtFlatCode, x86seg.GDT, 3)
+	FlatDataSelector = x86seg.NewSelector(gdtFlatData, x86seg.GDT, 3)
+)
+
+// System call and host service numbers.
+const (
+	SysExit           = 1
+	SysSetLDTCallGate = 17
+
+	GateAllocSegment = 1
+	GateFreeSegment  = 2
+
+	HostPrintInt = 1
+	HostPrintCh  = 2
+	HostMalloc   = 3
+	HostFree     = 4
+)
+
+// InfoStructSize is the size of the per-object information structure:
+// lower bound, upper bound, LDT selector (3 words, §3.2).
+const InfoStructSize = 12
+
+// Stats are the dynamic execution statistics the paper reports.
+type Stats struct {
+	Instructions uint64
+	HWChecks     uint64 // memory refs limit-checked through an array segment
+	SWChecks     uint64 // software bound-check sequences executed
+	BoundInstrs  uint64 // IA-32 bound instructions executed
+	SegRegLoads  uint64 // MOV-to-segment-register count
+	MallocCalls  uint64
+	PageWalks    uint64
+	LoopIters    uint64 // loop back-edges executed
+	SpilledIters uint64 // back-edges of loops with more arrays than segment registers
+}
+
+// SpilledIterPct returns the share of executed loop iterations that
+// belong to spilled loops — the parenthesised percentage of the paper's
+// Tables 4 and 7.
+func (s Stats) SpilledIterPct() float64 {
+	if s.LoopIters == 0 {
+		return 0
+	}
+	return float64(s.SpilledIters) / float64(s.LoopIters) * 100
+}
+
+// Result summarises a completed run.
+type Result struct {
+	Cycles   uint64
+	ExitCode int32
+	Output   []int32
+	Stats    Stats
+	LDTStats ldt.Stats
+}
+
+// TraceEntry records one address translation for the Figure-1 pipeline
+// demonstration.
+type TraceEntry struct {
+	Seg      x86seg.SegReg
+	Selector x86seg.Selector
+	Offset   uint32
+	Linear   uint32
+	Physical uint32
+	Write    bool
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithPaging enables the two-level page-table walk behind segmentation,
+// identity-mapping the first n bytes of the linear space.
+func WithPaging(n uint32) Option {
+	return func(m *Machine) { m.pages = paging.NewIdentity(n) }
+}
+
+// WithStepLimit caps the number of executed instructions.
+func WithStepLimit(n uint64) Option {
+	return func(m *Machine) { m.stepLimit = n }
+}
+
+// WithTrace installs a hook receiving every address translation.
+func WithTrace(fn func(TraceEntry)) Option {
+	return func(m *Machine) { m.trace = fn }
+}
+
+// WithoutCallGate suppresses call-gate installation so that every segment
+// allocation pays the stock modify_ldt cost (781 cycles) — the §3.6
+// ablation.
+func WithoutCallGate() Option {
+	return func(m *Machine) { m.noGate = true }
+}
+
+// WithElectricFence turns malloc into the Electric Fence debugger the
+// paper's related work discusses (§2): every heap object is placed so it
+// ends at a page boundary and the following page is left unmapped, so an
+// overflowing reference takes a page fault with zero per-check cost —
+// at the price of at least two pages of address space per allocation.
+// Requires WithPaging.
+func WithElectricFence() Option {
+	return func(m *Machine) { m.efence = true }
+}
+
+// Machine executes a Program. Create one per run with New; machines are
+// not safe for concurrent use.
+type Machine struct {
+	prog *Program
+	mode Mode
+
+	memory *mem.Memory
+	mmu    *x86seg.MMU
+	pages  *paging.Directory
+	ldtMgr *ldt.Manager
+
+	regs  [NumRegs]uint32
+	eq    bool // last compare: equal
+	lt    bool // last compare: signed less-than
+	below bool // last compare: unsigned below
+
+	ip        int
+	heap      uint32
+	cycles    uint64
+	stepLimit uint64
+	noGate    bool
+	efence    bool
+	guards    map[uint32]bool // Electric Fence guard pages
+	halted    bool
+	exitCode  int32
+
+	output []int32
+	stats  Stats
+	trace  func(TraceEntry)
+}
+
+// DefaultStepLimit bounds runaway programs.
+const DefaultStepLimit = 2_000_000_000
+
+// New prepares a machine for the given program: physical memory holding
+// the data image, a GDT with flat code/data segments, an empty LDT with
+// its manager, and registers initialised to the simulated Linux process
+// state (flat CS/DS/SS/ES, null FS/GS, ESP at the stack top).
+func New(prog *Program, mode Mode, opts ...Option) (*Machine, error) {
+	m := &Machine{
+		prog:      prog,
+		mode:      mode,
+		memory:    mem.New(),
+		mmu:       x86seg.NewMMU(),
+		stepLimit: DefaultStepLimit,
+		heap:      prog.HeapBase,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.ldtMgr = ldt.NewManager(m.mmu.LDT())
+
+	flatCode, err := x86seg.NewDataDescriptor(0, 0xffffffff)
+	if err != nil {
+		return nil, err
+	}
+	flatCode.Kind = x86seg.KindCode
+	flatData, err := x86seg.NewDataDescriptor(0, 0xffffffff)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.mmu.GDT().Set(gdtFlatCode, flatCode); err != nil {
+		return nil, err
+	}
+	if err := m.mmu.GDT().Set(gdtFlatData, flatData); err != nil {
+		return nil, err
+	}
+	for _, r := range []x86seg.SegReg{x86seg.DS, x86seg.SS, x86seg.ES} {
+		if err := m.mmu.Load(r, FlatDataSelector); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.mmu.Load(x86seg.CS, FlatCodeSelector); err != nil {
+		return nil, err
+	}
+	// FS and GS start null, so use before load faults (§3.1).
+	if err := m.mmu.Load(x86seg.FS, x86seg.NewSelector(0, x86seg.GDT, 0)); err != nil {
+		return nil, err
+	}
+	if err := m.mmu.Load(x86seg.GS, x86seg.NewSelector(0, x86seg.GDT, 0)); err != nil {
+		return nil, err
+	}
+
+	m.memory.WriteBytes(prog.DataBase, prog.Data)
+	m.regs[ESP] = prog.StackTop
+	m.ip = prog.Entry
+	if m.pages != nil {
+		// Identity-map the stack region too; WithPaging(n) covers only
+		// the low data/heap range.
+		for lin := (prog.StackTop - 1<<20) &^ 0xfff; lin < prog.StackTop; lin += paging.PageSize {
+			m.pages.Map(lin, lin, true)
+		}
+	}
+	return m, nil
+}
+
+// LDTManager exposes the machine's segment allocation manager.
+func (m *Machine) LDTManager() *ldt.Manager { return m.ldtMgr }
+
+// MMU exposes the segmentation unit (for tests and the trace tool).
+func (m *Machine) MMU() *x86seg.MMU { return m.mmu }
+
+// Memory exposes physical memory (for tests and loaders).
+func (m *Machine) Memory() *mem.Memory { return m.memory }
+
+// Reg returns the value of a general-purpose register.
+func (m *Machine) Reg(r Reg) uint32 { return m.regs[r] }
+
+// SetReg sets a general-purpose register (for test harnesses).
+func (m *Machine) SetReg(r Reg, v uint32) { m.regs[r] = v }
+
+// Cycles returns the cycle count so far, including LDT manager charges.
+func (m *Machine) Cycles() uint64 { return m.cycles + m.ldtMgr.Cycles() }
+
+// HeapSpan returns the amount of heap address space consumed so far —
+// the quantity Electric Fence inflates by a page-pair per allocation.
+func (m *Machine) HeapSpan() uint32 { return m.heap - m.prog.HeapBase }
+
+// IsGuardFault reports whether f is a page fault on an Electric Fence
+// guard page — i.e. a detected heap overrun, as opposed to an unrelated
+// wild access.
+func (m *Machine) IsGuardFault(f *Fault) bool {
+	if f == nil || f.Kind != FaultPage || len(m.guards) == 0 {
+		return false
+	}
+	pf, ok := f.Cause.(*paging.PageFault)
+	if !ok {
+		return false
+	}
+	return m.guards[pf.Linear&^0xfff]
+}
+
+func (m *Machine) fault(kind FaultKind, cause error) *Fault {
+	instr := ""
+	if m.ip >= 0 && m.ip < len(m.prog.Instrs) {
+		instr = m.prog.Instrs[m.ip].String()
+	}
+	return &Fault{Kind: kind, IP: m.ip, Instr: instr, Cause: cause}
+}
+
+// Run executes the program from its entry point until HLT, exit, a fault,
+// or the step limit. On a detected bound violation the returned error is a
+// *Fault with IsBoundViolation() == true.
+func (m *Machine) Run() (*Result, error) {
+	for !m.halted {
+		if m.stats.Instructions >= m.stepLimit {
+			return m.result(), m.fault(FaultStepLimit, nil)
+		}
+		if m.ip < 0 || m.ip >= len(m.prog.Instrs) {
+			return m.result(), m.fault(FaultInvalid, fmt.Errorf("ip %d outside program", m.ip))
+		}
+		if err := m.step(); err != nil {
+			return m.result(), err
+		}
+	}
+	return m.result(), nil
+}
+
+func (m *Machine) result() *Result {
+	return &Result{
+		Cycles:   m.Cycles(),
+		ExitCode: m.exitCode,
+		Output:   m.output,
+		Stats:    m.stats,
+		LDTStats: m.ldtMgr.Stats(),
+	}
+}
+
+// effAddr computes the effective (segment-relative) address of a memory
+// operand.
+func (m *Machine) effAddr(ref MemRef) uint32 {
+	ea := uint32(ref.Disp)
+	if ref.HasBase {
+		ea += m.regs[ref.Base]
+	}
+	if ref.HasIndex {
+		scale := uint32(ref.Scale)
+		if scale == 0 {
+			scale = 1
+		}
+		ea += m.regs[ref.Index] * scale
+	}
+	return ea
+}
+
+// translate maps a segment-relative access to a physical address, applying
+// the segment limit check and (if enabled) the page walk. Accesses through
+// a segment register holding an LDT selector are counted as hardware bound
+// checks — those are exactly Cash's per-array segments.
+func (m *Machine) translate(ref MemRef, size uint8, write bool) (uint32, error) {
+	ea := m.effAddr(ref)
+	// Every reference through an array segment (an LDT selector) is a
+	// hardware bound check — counted whether it passes or faults.
+	if m.mmu.Selector(ref.Seg).Table() == x86seg.LDT {
+		m.stats.HWChecks++
+	}
+	lin, err := m.mmu.Translate(ref.Seg, ea, uint32(size), write)
+	if err != nil {
+		return 0, m.fault(FaultSegmentation, err)
+	}
+	phys := lin
+	if m.pages != nil {
+		phys, err = m.pages.Translate(lin, write)
+		if err != nil {
+			return 0, m.fault(FaultPage, err)
+		}
+		m.stats.PageWalks++
+	}
+	if m.trace != nil {
+		m.trace(TraceEntry{
+			Seg: ref.Seg, Selector: m.mmu.Selector(ref.Seg),
+			Offset: ea, Linear: lin, Physical: phys, Write: write,
+		})
+	}
+	return phys, nil
+}
+
+func (m *Machine) load(ref MemRef, size uint8) (uint32, error) {
+	phys, err := m.translate(ref, size, false)
+	if err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint32(m.memory.Read8(phys)), nil
+	case 2:
+		return uint32(m.memory.Read16(phys)), nil
+	default:
+		return m.memory.Read32(phys), nil
+	}
+}
+
+func (m *Machine) store(ref MemRef, size uint8, v uint32) error {
+	phys, err := m.translate(ref, size, true)
+	if err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		m.memory.Write8(phys, uint8(v))
+	case 2:
+		m.memory.Write16(phys, uint16(v))
+	default:
+		m.memory.Write32(phys, v)
+	}
+	return nil
+}
+
+func (m *Machine) get(o Operand, size uint8) (uint32, error) {
+	switch o.Kind {
+	case KindReg:
+		return m.regs[o.Reg], nil
+	case KindImm:
+		return uint32(o.Imm), nil
+	case KindMem:
+		return m.load(o.Mem, size)
+	case KindSReg:
+		return uint32(m.mmu.Selector(o.SReg)), nil
+	default:
+		return 0, m.fault(FaultInvalid, fmt.Errorf("read of empty operand"))
+	}
+}
+
+func (m *Machine) set(o Operand, size uint8, v uint32) error {
+	switch o.Kind {
+	case KindReg:
+		m.regs[o.Reg] = v
+		return nil
+	case KindMem:
+		return m.store(o.Mem, size, v)
+	default:
+		return m.fault(FaultInvalid, fmt.Errorf("write to %v operand", o.Kind))
+	}
+}
+
+// push/pop (and CALL/RET through them) address the stack through DS
+// rather than SS. Under the simulated Linux both are the identical flat
+// segment, and this models the §3.7 rewriting that frees SS for array
+// bound checking: PUSH/POP become MOV+SUB/ADD through DS, so stack
+// operations keep working when SS holds an array selector.
+func (m *Machine) push(v uint32) error {
+	m.regs[ESP] -= 4
+	return m.store(MemRef{Seg: x86seg.DS, Base: ESP, HasBase: true}, 4, v)
+}
+
+func (m *Machine) pop() (uint32, error) {
+	v, err := m.load(MemRef{Seg: x86seg.DS, Base: ESP, HasBase: true}, 4)
+	if err != nil {
+		return 0, err
+	}
+	m.regs[ESP] += 4
+	return v, nil
+}
+
+func (m *Machine) condition(op Op) bool {
+	switch op {
+	case JE:
+		return m.eq
+	case JNE:
+		return !m.eq
+	case JL:
+		return m.lt
+	case JLE:
+		return m.lt || m.eq
+	case JG:
+		return !m.lt && !m.eq
+	case JGE:
+		return !m.lt
+	case JB:
+		return m.below
+	case JAE:
+		return !m.below
+	case JA:
+		return !m.below && !m.eq
+	case JBE:
+		return m.below || m.eq
+	default:
+		return false
+	}
+}
+
+func (m *Machine) step() error {
+	in := &m.prog.Instrs[m.ip]
+	m.stats.Instructions++
+	m.cycles += in.baseCost()
+	switch in.Note {
+	case NoteSWCheck:
+		m.stats.SWChecks++
+	case NoteLoopBackedge:
+		m.stats.LoopIters++
+	case NoteSpilledBackedge:
+		m.stats.LoopIters++
+		m.stats.SpilledIters++
+	}
+	size := in.Size
+	if size == 0 {
+		size = 4
+	}
+	next := m.ip + 1
+
+	switch in.Op {
+	case NOP:
+
+	case MOV:
+		v, err := m.get(in.Src, size)
+		if err != nil {
+			return err
+		}
+		if err := m.set(in.Dst, size, v); err != nil {
+			return err
+		}
+
+	case LEA:
+		if in.Src.Kind != KindMem {
+			return m.fault(FaultInvalid, fmt.Errorf("lea needs memory source"))
+		}
+		if err := m.set(in.Dst, 4, m.effAddr(in.Src.Mem)); err != nil {
+			return err
+		}
+
+	case ADD, SUB, IMUL, IDIV, IMOD, AND, OR, XOR, SHL, SHR, SAR:
+		a, err := m.get(in.Dst, size)
+		if err != nil {
+			return err
+		}
+		b, err := m.get(in.Src, size)
+		if err != nil {
+			return err
+		}
+		var v uint32
+		switch in.Op {
+		case ADD:
+			v = a + b
+		case SUB:
+			v = a - b
+		case IMUL:
+			v = uint32(int32(a) * int32(b))
+		case IDIV:
+			if b == 0 {
+				return m.fault(FaultDivide, nil)
+			}
+			v = uint32(int32(a) / int32(b))
+		case IMOD:
+			if b == 0 {
+				return m.fault(FaultDivide, nil)
+			}
+			v = uint32(int32(a) % int32(b))
+		case AND:
+			v = a & b
+		case OR:
+			v = a | b
+		case XOR:
+			v = a ^ b
+		case SHL:
+			v = a << (b & 31)
+		case SHR:
+			v = a >> (b & 31)
+		case SAR:
+			v = uint32(int32(a) >> (b & 31))
+		}
+		if err := m.set(in.Dst, size, v); err != nil {
+			return err
+		}
+
+	case NEG, NOT:
+		a, err := m.get(in.Dst, size)
+		if err != nil {
+			return err
+		}
+		v := -a
+		if in.Op == NOT {
+			v = ^a
+		}
+		if err := m.set(in.Dst, size, v); err != nil {
+			return err
+		}
+
+	case CMP:
+		a, err := m.get(in.Dst, size)
+		if err != nil {
+			return err
+		}
+		b, err := m.get(in.Src, size)
+		if err != nil {
+			return err
+		}
+		m.eq = a == b
+		m.lt = int32(a) < int32(b)
+		m.below = a < b
+
+	case TEST:
+		a, err := m.get(in.Dst, size)
+		if err != nil {
+			return err
+		}
+		b, err := m.get(in.Src, size)
+		if err != nil {
+			return err
+		}
+		m.eq = a&b == 0
+		m.lt = int32(a&b) < 0
+		m.below = false
+
+	case JMP:
+		next = in.Target
+
+	case JE, JNE, JL, JLE, JG, JGE, JB, JAE, JA, JBE:
+		if m.condition(in.Op) {
+			next = in.Target
+		}
+
+	case PUSH:
+		v, err := m.get(in.Src, 4)
+		if err != nil {
+			return err
+		}
+		if err := m.push(v); err != nil {
+			return err
+		}
+
+	case POP:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if err := m.set(in.Dst, 4, v); err != nil {
+			return err
+		}
+
+	case CALL:
+		if err := m.push(uint32(m.ip + 1)); err != nil {
+			return err
+		}
+		next = in.Target
+
+	case RET:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		next = int(v)
+
+	case MOVSR:
+		v, err := m.get(in.Src, 2)
+		if err != nil {
+			return err
+		}
+		if err := m.mmu.Load(in.Dst.SReg, x86seg.Selector(v)); err != nil {
+			return m.fault(FaultSegmentation, err)
+		}
+		m.stats.SegRegLoads++
+
+	case MOVRS:
+		if err := m.set(in.Dst, 4, uint32(m.mmu.Selector(in.Src.SReg))); err != nil {
+			return err
+		}
+
+	case BOUND:
+		m.stats.BoundInstrs++
+		m.stats.SWChecks++
+		idx, err := m.get(in.Dst, 4)
+		if err != nil {
+			return err
+		}
+		if in.Src.Kind != KindMem {
+			return m.fault(FaultInvalid, fmt.Errorf("bound needs memory bounds"))
+		}
+		lower, err := m.load(in.Src.Mem, 4)
+		if err != nil {
+			return err
+		}
+		upperRef := in.Src.Mem
+		upperRef.Disp += 4
+		upper, err := m.load(upperRef, 4)
+		if err != nil {
+			return err
+		}
+		if idx < lower || idx >= upper {
+			return m.fault(FaultSoftwareCheck,
+				fmt.Errorf("bound: %#x outside [%#x,%#x)", idx, lower, upper))
+		}
+
+	case TRAP:
+		return m.fault(FaultSoftwareCheck, fmt.Errorf("%s", in.Sym))
+
+	case INT:
+		if err := m.syscall(); err != nil {
+			return err
+		}
+
+	case LCALL:
+		if err := m.gateCall(); err != nil {
+			return err
+		}
+
+	case HCALL:
+		if err := m.hostCall(in.Src.Imm); err != nil {
+			return err
+		}
+
+	case HLT:
+		m.halted = true
+
+	default:
+		return m.fault(FaultInvalid, fmt.Errorf("unknown opcode %v", in.Op))
+	}
+
+	m.ip = next
+	return nil
+}

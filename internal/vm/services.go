@@ -1,0 +1,212 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"cash/internal/ldt"
+	"cash/internal/x86seg"
+)
+
+// This file implements the three service entries of the simulated OS and
+// runtime library:
+//
+//   INT   — Linux system calls (exit, set_ldt_callgate)
+//   LCALL — the cash_modify_ldt call gate (segment alloc/free, §3.6)
+//   HCALL — recompiled libc services (malloc, free, output)
+//
+// All segment-allocation cycle costs are charged by the ldt.Manager, so
+// the call-gate-vs-syscall trade-off the paper measures shows up directly
+// in the machine's cycle count.
+
+func (m *Machine) syscall() error {
+	switch m.regs[EAX] {
+	case SysExit:
+		m.exitCode = int32(m.regs[EBX])
+		m.halted = true
+		return nil
+	case SysSetLDTCallGate:
+		if m.noGate {
+			// Ablation: pretend the kernel lacks the Cash patch; later
+			// allocations pay the stock modify_ldt cost.
+			return nil
+		}
+		if err := m.ldtMgr.InstallCallGate(); err != nil {
+			return m.fault(FaultInvalid, err)
+		}
+		return nil
+	default:
+		return m.fault(FaultInvalid, fmt.Errorf("unknown syscall %d", m.regs[EAX]))
+	}
+}
+
+// gateCall services lcall $0x7,$0x0. Parameters are passed in registers —
+// the paper's cash_modify_ldt avoids copying from the user stack:
+//
+//	EAX = operation (GateAllocSegment, GateFreeSegment)
+//	EBX = array base         (alloc)  | selector (free)
+//	ECX = array size         (alloc)
+//	EDX = info struct address, 0 if none (alloc)
+//
+// On return EAX holds the segment selector (alloc).
+func (m *Machine) gateCall() error {
+	switch m.regs[EAX] {
+	case GateAllocSegment:
+		sel, err := m.allocSegment(m.regs[EBX], m.regs[ECX], m.regs[EDX])
+		if err != nil {
+			return m.fault(FaultInvalid, err)
+		}
+		m.regs[EAX] = uint32(sel)
+		return nil
+	case GateFreeSegment:
+		m.freeSegment(x86seg.Selector(m.regs[EBX]))
+		return nil
+	default:
+		return m.fault(FaultInvalid, fmt.Errorf("unknown gate operation %d", m.regs[EAX]))
+	}
+}
+
+// allocSegment allocates a segment covering the array [base, base+size)
+// and, when infoAddr is non-zero, fills the 3-word information structure:
+//
+//	info[0] = selector
+//	info[4] = segment base (subtracted to form segment offsets, §3.3)
+//	info[8] = array end (software upper bound)
+//
+// Arrays larger than 1 MiB get a page-granular segment whose end is
+// aligned with the array end (§3.5), making the hardware upper-bound check
+// byte-exact at the price of sub-page lower-bound slack. When the LDT is
+// exhausted the flat data segment is returned with bounds [0, 4 GiB),
+// which disables checking for this object (§3.4).
+func (m *Machine) allocSegment(base, size, infoAddr uint32) (x86seg.Selector, error) {
+	segBase, segSize := base, size
+	if size > 0 && size-1 > x86seg.MaxByteLimit {
+		pages := (uint64(size) + x86seg.PageGranule - 1) / x86seg.PageGranule
+		segSize = uint32(pages) * x86seg.PageGranule
+		segBase = base + size - segSize
+	}
+	sel, err := m.ldtMgr.Alloc(segBase, segSize)
+	lower, upper := segBase, base+size
+	if errors.Is(err, ldt.ErrExhausted) {
+		sel, lower, upper = FlatDataSelector, 0, 0xffffffff
+	} else if err != nil {
+		return 0, err
+	}
+	if infoAddr != 0 {
+		m.memory.Write32(infoAddr, uint32(sel))
+		m.memory.Write32(infoAddr+4, lower)
+		m.memory.Write32(infoAddr+8, upper)
+	}
+	return sel, nil
+}
+
+// freeSegment releases a segment; the flat fall-back selector is not a
+// real allocation and is ignored.
+func (m *Machine) freeSegment(sel x86seg.Selector) {
+	if sel == FlatDataSelector || sel.IsNull() {
+		return
+	}
+	// A double free or corrupted selector only hurts the application
+	// itself (§3.8); mirror that by ignoring the failure.
+	_ = m.ldtMgr.Free(sel)
+}
+
+func (m *Machine) hostCall(service int32) error {
+	switch service {
+	case HostPrintInt:
+		m.cycles += CostPrint
+		m.output = append(m.output, int32(m.regs[EAX]))
+		return nil
+	case HostPrintCh:
+		m.cycles += CostPrint
+		m.output = append(m.output, int32(m.regs[EAX])&0xff)
+		return nil
+	case HostMalloc:
+		m.stats.MallocCalls++
+		m.cycles += CostMalloc
+		ptr, err := m.malloc(m.regs[EAX])
+		if err != nil {
+			return m.fault(FaultInvalid, err)
+		}
+		m.regs[EAX] = ptr
+		return nil
+	case HostFree:
+		m.cycles += CostFreeHeap
+		m.freeHeap(m.regs[EAX])
+		return nil
+	default:
+		return m.fault(FaultInvalid, fmt.Errorf("unknown host service %d", service))
+	}
+}
+
+// malloc carves a block from the bump heap. Under ModeCash the paper's
+// layout is used: a 3-word info structure precedes the array, the array's
+// segment is allocated, and for >1 MiB requests the array is placed so its
+// end coincides with the page-granular segment end (§3.5).
+func (m *Machine) malloc(n uint32) (uint32, error) {
+	if n == 0 {
+		n = 1
+	}
+	alignUp := func(v uint32) uint32 { return (v + 3) &^ 3 }
+	if m.efence {
+		return m.mallocEFence(n)
+	}
+	if m.mode != ModeCash {
+		ptr := alignUp(m.heap)
+		m.heap = ptr + n
+		return ptr, nil
+	}
+	block := alignUp(m.heap)
+	array := block + InfoStructSize
+	if n-1 > x86seg.MaxByteLimit {
+		pages := (uint64(n) + x86seg.PageGranule - 1) / x86seg.PageGranule
+		segBytes := uint32(pages) * x86seg.PageGranule
+		// Place the array so it ends at the segment end; the padding
+		// below the array is the (unused) lower-bound slack region.
+		array = block + InfoStructSize + (segBytes - n)
+		m.heap = block + InfoStructSize + segBytes
+	} else {
+		m.heap = array + n
+	}
+	// The info structure always sits immediately below the array so that
+	// free() can find it from the pointer alone.
+	if _, err := m.allocSegment(array, n, array-InfoStructSize); err != nil {
+		return 0, err
+	}
+	return array, nil
+}
+
+// mallocEFence implements the Electric Fence layout: the object ends at
+// a page boundary and the next page is an unmapped guard, so the first
+// byte written past the object page-faults. The paper's related-work
+// critique — "it consumes too much virtual memory space" — is visible in
+// the page accounting: every allocation burns at least two pages.
+func (m *Machine) mallocEFence(n uint32) (uint32, error) {
+	if m.pages == nil {
+		return 0, fmt.Errorf("electric fence requires paging")
+	}
+	const page = 4096
+	// Start at the next page boundary, leave room for the object plus
+	// its trailing guard page.
+	start := (m.heap + page - 1) &^ (page - 1)
+	objPages := (n + page - 1) / page
+	guard := start + objPages*page
+	ptr := guard - n // object ends exactly at the guard page
+	m.pages.Unmap(guard)
+	if m.guards == nil {
+		m.guards = make(map[uint32]bool)
+	}
+	m.guards[guard] = true
+	m.heap = guard + page
+	return ptr, nil
+}
+
+// freeHeap releases a heap object. Under ModeCash the info structure sits
+// InfoStructSize bytes below the array and names the segment to free.
+func (m *Machine) freeHeap(ptr uint32) {
+	if m.efence || m.mode != ModeCash || ptr < InfoStructSize {
+		return
+	}
+	sel := x86seg.Selector(m.memory.Read32(ptr - InfoStructSize))
+	m.freeSegment(sel)
+}

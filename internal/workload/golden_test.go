@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+
+	"cash/internal/core"
+)
+
+// Golden checksums for every workload, captured from the unchecked (GCC)
+// build. All workloads are deterministic (LCG-synthesised inputs), so
+// any change to the front end, a code generator, the machine, or a
+// workload source that alters semantics shows up here immediately. The
+// cross-mode comparison tests then guarantee BCC and Cash agree with
+// these values too.
+var goldenOutputs = map[string][]int32{
+	"svd96x64":    {19560},
+	"volren24":    {343954},
+	"fft32":       {-51763},
+	"gauss40":     {2},
+	"matmul40":    {3999517},
+	"edge160x120": {2321419},
+	"toast":       {28749},
+	"cjpeg":       {86222},
+	"quat":        {24360},
+	"raylab":      {46061},
+	"speex":       {66022},
+	"gif2png":     {299765},
+	"qpopper":     {13925},
+	"apache":      {140741},
+	"sendmail":    {15302542},
+	"wuftpd":      {13466089},
+	"pureftpd":    {297947},
+	"bind":        {73760},
+	"libc":        {16470887},
+}
+
+func TestWorkloadGoldenOutputs(t *testing.T) {
+	if len(goldenOutputs) != len(All()) {
+		t.Fatalf("golden table has %d entries, suite has %d", len(goldenOutputs), len(All()))
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			want, ok := goldenOutputs[w.Name]
+			if !ok {
+				t.Fatalf("no golden output for %s", w.Name)
+			}
+			art, err := core.Build(w.Source, core.ModeGCC, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := art.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Output) != len(want) {
+				t.Fatalf("output %v, want %v", res.Output, want)
+			}
+			for i := range want {
+				if res.Output[i] != want[i] {
+					t.Fatalf("output[%d] = %d, want %d", i, res.Output[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,368 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The six Table 1 numerical kernels. Each is parameterised by input size
+// so the Table 3 scaling experiment can regenerate the 64..512 sweep (we
+// sweep the same shape at simulator-friendly sizes).
+
+// MatMul is the Matrix Multiplication kernel: C = A*B on n x n integer
+// matrices (paper: 128x128).
+func MatMul(n int) Workload {
+	src := fmt.Sprintf(`
+// Matrix multiplication kernel (Table 1 "Matrix Multi.").
+int a[%[1]d]; // n*n
+int b[%[1]d];
+int c[%[1]d];
+void main() {
+	int n = %[2]d;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			a[i*n+j] = (i + j) %% 17 + 1;
+			b[i*n+j] = (i * 3 + j * 7) %% 13 + 1;
+		}
+	}
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < n; j++) {
+			int s = 0;
+			for (int k = 0; k < n; k++) {
+				s += a[i*n+k] * b[k*n+j];
+			}
+			c[i*n+j] = s;
+		}
+	}
+	int sum = 0;
+	for (int i = 0; i < n*n; i++) sum += c[i] %% 9973;
+	printi(sum);
+}
+`, n*n, n)
+	return Workload{
+		Name:        fmt.Sprintf("matmul%d", n),
+		Paper:       "Matrix Multi.",
+		Description: fmt.Sprintf("%dx%d integer matrix multiplication", n, n),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// Gaussian is the Gaussian Elimination kernel on an n x (n+1) augmented
+// matrix in 8.8 fixed point (paper: 128x128, floating point).
+func Gaussian(n int) Workload {
+	src := fmt.Sprintf(`
+// Gaussian elimination kernel (Table 1 "Gaus. Elim."), 8.8 fixed point.
+int m[%[1]d]; // n*(n+1) augmented matrix
+int x[%[2]d]; // solution vector
+void main() {
+	int n = %[2]d;
+	int w = n + 1;
+	// Diagonally dominant system so no pivoting is needed.
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < w; j++) {
+			if (i == j) m[i*w+j] = (n * 8) << 8;
+			else m[i*w+j] = (((i * 7 + j * 3) %% 9) - 4) << 8;
+		}
+	}
+	// Forward elimination.
+	for (int k = 0; k < n; k++) {
+		for (int i = k + 1; i < n; i++) {
+			int f = (m[i*w+k] << 8) / m[k*w+k];
+			for (int j = k; j < w; j++) {
+				m[i*w+j] -= (f * m[k*w+j]) >> 8;
+			}
+		}
+	}
+	// Back substitution.
+	for (int i = n - 1; i >= 0; i--) {
+		int s = m[i*w+n];
+		for (int j = i + 1; j < n; j++) {
+			s -= (m[i*w+j] * x[j]) >> 8;
+		}
+		x[i] = (s << 8) / m[i*w+i];
+	}
+	int sum = 0;
+	for (int i = 0; i < n; i++) sum += x[i];
+	printi(sum);
+}
+`, n*(n+1), n)
+	return Workload{
+		Name:        fmt.Sprintf("gauss%d", n),
+		Paper:       "Gaus. Elim.",
+		Description: fmt.Sprintf("%dx%d fixed-point Gaussian elimination", n, n),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// sineTable renders a quarter-precision sine table in 8.8 fixed point as
+// a mini-C initialiser; the front end has no floating point, so the
+// constants are computed here (exactly what a C programmer would bake
+// into a fixed-point FFT).
+func sineTable(n int) string {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%d", int(math.Round(256*math.Sin(2*math.Pi*float64(i)/float64(2*n)))))
+	}
+	return strings.Join(vals, ", ")
+}
+
+// FFT2D is the 2D FFT kernel: n x n, row FFTs then column FFTs, radix-2
+// iterative, 8.8 fixed point (paper: 64x64). n must be a power of two.
+func FFT2D(n int) Workload {
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+	src := fmt.Sprintf(`
+// 2D FFT kernel (Table 1 "2D FFT"), radix-2 iterative, 8.8 fixed point.
+int re[%[1]d]; // n*n real parts
+int im[%[1]d]; // n*n imaginary parts
+int sine[%[2]d] = {%[3]s}; // sin(2*pi*i/(2n)) in 8.8
+int rev[%[4]d]; // bit-reversal permutation
+
+// fft1d transforms one length-n line with stride 1 starting at offset.
+void fft1d(int *rp, int *ip, int n) {
+	// Bit-reversal permutation.
+	for (int i = 0; i < n; i++) {
+		int j = rev[i];
+		if (j > i) {
+			int t = rp[i]; rp[i] = rp[j]; rp[j] = t;
+			t = ip[i]; ip[i] = ip[j]; ip[j] = t;
+		}
+	}
+	for (int len = 2; len <= n; len = len << 1) {
+		int half = len >> 1;
+		int step = n / len;
+		for (int base = 0; base < n; base += len) {
+			for (int k = 0; k < half; k++) {
+				int widx = k * step;
+				int wr = sine[widx + (%[4]d >> 1)]; // cos via quarter shift
+				int wi = -sine[widx];
+				int ur = rp[base+k];
+				int ui = ip[base+k];
+				int vr = (rp[base+k+half] * wr - ip[base+k+half] * wi) >> 8;
+				int vi = (rp[base+k+half] * wi + ip[base+k+half] * wr) >> 8;
+				rp[base+k] = ur + vr;
+				ip[base+k] = ui + vi;
+				rp[base+k+half] = ur - vr;
+				ip[base+k+half] = ui - vi;
+			}
+		}
+	}
+}
+
+void main() {
+	int n = %[4]d;
+	int logn = %[5]d;
+	// Bit-reversal table.
+	for (int i = 0; i < n; i++) {
+		int r = 0;
+		int v = i;
+		for (int bit = 0; bit < logn; bit++) {
+			r = (r << 1) | (v & 1);
+			v = v >> 1;
+		}
+		rev[i] = r;
+	}
+	// Synthetic image.
+	for (int i = 0; i < n*n; i++) {
+		re[i] = ((i * 1103 + 12345) >> 4) %% 256;
+		im[i] = 0;
+	}
+	// Row FFTs.
+	for (int r = 0; r < n; r++) {
+		fft1d(&re[r*n], &im[r*n], n);
+	}
+	// Column FFTs via transpose, FFT, transpose back.
+	for (int i = 0; i < n; i++) {
+		for (int j = i + 1; j < n; j++) {
+			int t = re[i*n+j]; re[i*n+j] = re[j*n+i]; re[j*n+i] = t;
+			t = im[i*n+j]; im[i*n+j] = im[j*n+i]; im[j*n+i] = t;
+		}
+	}
+	for (int r = 0; r < n; r++) {
+		fft1d(&re[r*n], &im[r*n], n);
+	}
+	int sum = 0;
+	for (int i = 0; i < n*n; i++) sum += (re[i] + im[i]) %% 997;
+	printi(sum);
+}
+`, n*n, n, sineTable(n), n, logn)
+	return Workload{
+		Name:        fmt.Sprintf("fft%d", n),
+		Paper:       "2D FFT",
+		Description: fmt.Sprintf("%dx%d fixed-point 2D FFT", n, n),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// EdgeDetect is the Image Edge Detection kernel: Sobel operator over a
+// w x h synthetic image (paper: 1024x768).
+func EdgeDetect(w, h int) Workload {
+	src := fmt.Sprintf(`
+// Sobel edge detection kernel (Table 1 "Edge Detect").
+int img[%[1]d];  // w*h input
+int gx[%[1]d];   // horizontal gradient
+int gy[%[1]d];   // vertical gradient
+int edge[%[1]d]; // gradient magnitude (L1)
+void main() {
+	int w = %[2]d;
+	int h = %[3]d;
+	int seed = 42;
+	for (int i = 0; i < w*h; i++) {
+		seed = seed * 1103515245 + 12345;
+		img[i] = (seed >> 16) & 0xff;
+	}
+	for (int y = 1; y < h - 1; y++) {
+		for (int x = 1; x < w - 1; x++) {
+			int p = y * w + x;
+			gx[p] = img[p-w+1] + 2*img[p+1] + img[p+w+1]
+			      - img[p-w-1] - 2*img[p-1] - img[p+w-1];
+			gy[p] = img[p+w-1] + 2*img[p+w] + img[p+w+1]
+			      - img[p-w-1] - 2*img[p-w] - img[p-w+1];
+		}
+	}
+	for (int y = 1; y < h - 1; y++) {
+		for (int x = 1; x < w - 1; x++) {
+			int p = y * w + x;
+			int ax = gx[p]; if (ax < 0) ax = -ax;
+			int ay = gy[p]; if (ay < 0) ay = -ay;
+			edge[p] = ax + ay;
+		}
+	}
+	int sum = 0;
+	for (int i = 0; i < w*h; i++) sum += edge[i] %% 251;
+	printi(sum);
+}
+`, w*h, w, h)
+	return Workload{
+		Name:        fmt.Sprintf("edge%dx%d", w, h),
+		Paper:       "Edge Detect",
+		Description: fmt.Sprintf("%dx%d Sobel edge detection", w, h),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// VolumeRender is the Volume Rendering kernel: orthographic ray casting
+// with front-to-back alpha compositing through a g^3 density volume onto
+// an r x r image plane with s steps per ray (paper: 128^3 onto 256^2).
+func VolumeRender(g, r, s int) Workload {
+	src := fmt.Sprintf(`
+// Ray-casting volume renderer kernel (Table 1 "Vol. Render."), 8.8 fixed.
+int vol[%[1]d];   // g^3 density volume
+int image[%[2]d]; // r*r output plane
+int opac[64];     // opacity transfer function, 8.8
+int emis[64];     // emission transfer function, 8.8
+void main() {
+	int g = %[3]d;
+	int r = %[4]d;
+	int steps = %[5]d;
+	int gg = g * g;
+	int seed = 7;
+	for (int i = 0; i < g*g*g; i++) {
+		seed = seed * 1103515245 + 12345;
+		vol[i] = (seed >> 16) & 0x3f; // low densities
+	}
+	for (int d = 0; d < 64; d++) {
+		opac[d] = d * 2;           // denser -> more opaque
+		emis[d] = (d * d) >> 4;    // denser -> brighter
+	}
+	for (int py = 0; py < r; py++) {
+		for (int px = 0; px < r; px++) {
+			// Ray enters at (x,y,0) and marches in +z: the sample index
+			// advances by one z-slab (g*g voxels) per step.
+			int x = (px * g) / r;
+			int y = (py * g) / r;
+			int idx = y * g + x;
+			int acc = 0;        // accumulated intensity, 8.8
+			int trans = 256;    // transparency, 8.8
+			int zlim = steps;
+			if (zlim > g) zlim = g;
+			for (int k = 0; k < zlim; k++) {
+				int d = vol[idx];
+				idx += gg;
+				acc += (trans * emis[d]) >> 8;
+				trans -= (trans * opac[d]) >> 8;
+				if (trans < 4) break;
+			}
+			image[py*r+px] = acc;
+		}
+	}
+	int sum = 0;
+	for (int i = 0; i < r*r; i++) sum += image[i] %% 769;
+	printi(sum);
+}
+`, g*g*g, r*r, g, r, s)
+	return Workload{
+		Name:        fmt.Sprintf("volren%d", g),
+		Paper:       "Vol. Render.",
+		Description: fmt.Sprintf("%d^3 volume ray casting onto %dx%d", g, r, r),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// SVD is the SVDPACKC-style kernel: power iteration on A^T A to estimate
+// the dominant singular triplet of an m x n matrix, the core loop
+// structure of the Lanczos methods SVDPACKC implements (paper: 374x82).
+// Fixed point 8.8.
+func SVD(m, n, iters int) Workload {
+	src := fmt.Sprintf(`
+// Dominant-singular-triplet kernel in the style of SVDPACKC (Table 1
+// "SVDPACKC"): power iteration y = A x, x = A^T y with rescaling.
+int a[%[1]d]; // m*n matrix
+int x[%[2]d]; // right singular vector estimate
+int y[%[3]d]; // left singular vector estimate
+void main() {
+	int m = %[3]d;
+	int n = %[2]d;
+	int seed = 99;
+	for (int i = 0; i < m*n; i++) {
+		seed = seed * 1103515245 + 12345;
+		a[i] = ((seed >> 16) %% 17) - 8;
+	}
+	for (int j = 0; j < n; j++) x[j] = 256;
+	int sigma = 0;
+	for (int it = 0; it < %[4]d; it++) {
+		// y = A x
+		for (int i = 0; i < m; i++) {
+			int s = 0;
+			for (int j = 0; j < n; j++) s += a[i*n+j] * x[j];
+			y[i] = s >> 4;
+		}
+		// x = A^T y
+		for (int j = 0; j < n; j++) {
+			int s = 0;
+			for (int i = 0; i < m; i++) s += a[i*n+j] * y[i];
+			x[j] = s >> 4;
+		}
+		// Rescale x to keep the iteration in range; track the norm as
+		// the singular value estimate.
+		int norm = 0;
+		for (int j = 0; j < n; j++) {
+			int v = x[j]; if (v < 0) v = -v;
+			if (v > norm) norm = v;
+		}
+		sigma = norm;
+		if (norm > 0) {
+			for (int j = 0; j < n; j++) x[j] = (x[j] << 8) / norm;
+		}
+	}
+	int sum = sigma %% 100000;
+	for (int j = 0; j < n; j++) sum += x[j] %% 641;
+	printi(sum);
+}
+`, m*n, n, m, iters)
+	return Workload{
+		Name:        fmt.Sprintf("svd%dx%d", m, n),
+		Paper:       "SVDPACKC",
+		Description: fmt.Sprintf("%dx%d dominant singular triplet by power iteration", m, n),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}

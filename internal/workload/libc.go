@@ -1,0 +1,220 @@
+package workload
+
+// LibCorpus is a representative slice of the C library compiled into
+// every statically linked binary. The paper's binary-size tables (2, 6
+// and the Table 8 space column) compare statically linked executables
+// whose GLIBC was recompiled with each bound checker — most of the size
+// difference comes from the library, not the application. We reproduce
+// that by compiling this corpus (string/memory/conversion/sorting
+// routines, the hot part of libc for the tested applications) under each
+// mode and adding its text to every binary.
+//
+// The corpus is valid mini-C with a main that exercises every routine, so
+// the correctness test suite can verify it runs identically under all
+// three compilers.
+func LibCorpus() Workload {
+	return Workload{
+		Name:        "libc",
+		Paper:       "GLIBC (recompiled)",
+		Description: "string/memory/conversion library corpus for the static-link size model",
+		Category:    CategoryMacro,
+		Source: `
+// libc corpus: the routines the paper's applications link statically.
+
+int c_strlen(char *s) {
+	int n = 0;
+	while (s[n] != 0) n++;
+	return n;
+}
+
+void c_strcpy(char *dst, char *src) {
+	int i = 0;
+	while (src[i] != 0) {
+		dst[i] = src[i];
+		i++;
+	}
+	dst[i] = 0;
+}
+
+void c_strncpy(char *dst, char *src, int n) {
+	int i = 0;
+	while (i < n && src[i] != 0) {
+		dst[i] = src[i];
+		i++;
+	}
+	while (i < n) {
+		dst[i] = 0;
+		i++;
+	}
+}
+
+int c_strcmp(char *a, char *b) {
+	int i = 0;
+	while (a[i] != 0 && a[i] == b[i]) i++;
+	return a[i] - b[i];
+}
+
+int c_strchr(char *s, int c) {
+	for (int i = 0; s[i] != 0; i++) {
+		if (s[i] == c) return i;
+	}
+	return -1;
+}
+
+void c_strcat(char *dst, char *src) {
+	int d = c_strlen(dst);
+	int i = 0;
+	while (src[i] != 0) {
+		dst[d + i] = src[i];
+		i++;
+	}
+	dst[d + i] = 0;
+}
+
+void c_memcpy(char *dst, char *src, int n) {
+	for (int i = 0; i < n; i++) dst[i] = src[i];
+}
+
+void c_memset(char *dst, int v, int n) {
+	for (int i = 0; i < n; i++) dst[i] = v;
+}
+
+int c_memcmp(char *a, char *b, int n) {
+	for (int i = 0; i < n; i++) {
+		if (a[i] != b[i]) return a[i] - b[i];
+	}
+	return 0;
+}
+
+int c_atoi(char *s) {
+	int i = 0;
+	int neg = 0;
+	int v = 0;
+	while (s[i] == ' ') i++;
+	if (s[i] == '-') { neg = 1; i++; }
+	while (s[i] >= '0' && s[i] <= '9') {
+		v = v * 10 + (s[i] - '0');
+		i++;
+	}
+	if (neg) return -v;
+	return v;
+}
+
+int c_itoa(int v, char *out) {
+	char tmp[16];
+	int n = 0;
+	int neg = 0;
+	if (v < 0) { neg = 1; v = -v; }
+	if (v == 0) { tmp[0] = '0'; n = 1; }
+	while (v > 0) {
+		tmp[n] = '0' + v % 10;
+		v = v / 10;
+		n++;
+	}
+	int o = 0;
+	if (neg) { out[0] = '-'; o = 1; }
+	for (int i = n - 1; i >= 0; i--) {
+		out[o] = tmp[i];
+		o++;
+	}
+	out[o] = 0;
+	return o;
+}
+
+int c_toupper(int c) {
+	if (c >= 'a' && c <= 'z') return c - 32;
+	return c;
+}
+
+int c_tolower(int c) {
+	if (c >= 'A' && c <= 'Z') return c + 32;
+	return c;
+}
+
+// c_qsort sorts an int array in place (insertion sort, as the small-n
+// fallback of the real qsort).
+void c_qsort(int *a, int n) {
+	for (int i = 1; i < n; i++) {
+		int v = a[i];
+		int j = i - 1;
+		while (j >= 0 && a[j] > v) {
+			a[j+1] = a[j];
+			j--;
+		}
+		a[j+1] = v;
+	}
+}
+
+// c_bsearch finds v in a sorted int array, or returns -1.
+int c_bsearch(int *a, int n, int v) {
+	int lo = 0;
+	int hi = n - 1;
+	while (lo <= hi) {
+		int mid = (lo + hi) / 2;
+		if (a[mid] == v) return mid;
+		if (a[mid] < v) lo = mid + 1;
+		else hi = mid - 1;
+	}
+	return -1;
+}
+
+// c_snprintf_d renders "%s=%d\n" style records, the hot formatting path.
+int c_format(char *out, char *key, int v) {
+	int o = 0;
+	for (int i = 0; key[i] != 0; i++) {
+		out[o] = key[i];
+		o++;
+	}
+	out[o] = '=';
+	o++;
+	char num[16];
+	int n = c_itoa(v, num);
+	for (int i = 0; i < n; i++) {
+		out[o] = num[i];
+		o++;
+	}
+	out[o] = '\n';
+	o++;
+	out[o] = 0;
+	return o;
+}
+
+// c_hash is the djb2 string hash used by name-service lookup paths.
+int c_hash(char *s) {
+	int h = 5381;
+	for (int i = 0; s[i] != 0; i++) {
+		h = h * 33 + s[i];
+	}
+	return h;
+}
+
+char g_src[64] = "the quick brown fox jumps over the lazy dog";
+char g_dst[128];
+char g_num[32];
+int g_table[32];
+
+void main() {
+	int check = 0;
+	check += c_strlen(g_src);
+	c_strcpy(g_dst, g_src);
+	c_strcat(g_dst, " again");
+	check += c_strlen(g_dst);
+	c_strncpy(g_num, g_src, 10);
+	check += c_strcmp(g_dst, g_src);
+	check += c_strchr(g_src, 'q');
+	c_memset(g_num, 0, 32);
+	c_memcpy(g_num, g_src, 16);
+	check += c_memcmp(g_num, g_src, 16);
+	check += c_atoi(" -4821");
+	check += c_format(g_dst, "count", 12345);
+	check += c_hash(g_src);
+	check += c_toupper('g') + c_tolower('G');
+	for (int i = 0; i < 32; i++) g_table[i] = (i * 37) % 64;
+	c_qsort(g_table, 32);
+	check += c_bsearch(g_table, 32, g_table[20]);
+	for (int i = 0; i < 32; i++) check += g_table[i];
+	printi(check & 0xffffff);
+}
+`,
+	}
+}

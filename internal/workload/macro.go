@@ -1,0 +1,485 @@
+package workload
+
+// The six macro applications of Tables 4-6. Each mirrors the
+// computational skeleton of the paper's program — the data-access pattern
+// (frame loops with local scratch arrays, block transforms, per-pixel
+// iteration, byte-stream decoding) is what determines bound-checking
+// cost, so the skeletons preserve it while the I/O is replaced by
+// deterministic synthetic data.
+
+// Toast is the GSM 06.10 audio compression skeleton: per-frame
+// preprocessing, autocorrelation, reflection coefficients (Schur
+// recursion), LTP search and quantisation. Its defining property for
+// Cash is frame-processing functions with local scratch arrays called
+// hundreds of times — the workload that stresses the 3-entry segment
+// cache (§4.5).
+func Toast() Workload {
+	return Workload{
+		Name:        "toast",
+		Paper:       "Toast",
+		Description: "GSM-style audio compression: LPC frames over synthetic PCM",
+		Category:    CategoryMacro,
+		Source: `
+// Toast skeleton: GSM 06.10-style frame compression.
+int pcm[160];      // one frame of samples
+int history[120];  // long-term predictor history
+int outbits[76];   // packed frame output
+int framesum;
+
+// autocorr computes 9 autocorrelation lags into a local array and
+// returns the quantised reflection energy.
+int autocorr(int *s, int n) {
+	int acf[9];
+	for (int k = 0; k < 9; k++) {
+		int sum = 0;
+		for (int i = k; i < n; i++) {
+			sum += (s[i] * s[i-k]) >> 8;
+		}
+		acf[k] = sum;
+	}
+	// Schur-style recursion on a working copy.
+	int p[9];
+	int refl[8];
+	for (int k = 0; k < 9; k++) p[k] = acf[k];
+	for (int k = 0; k < 8; k++) {
+		if (p[0] == 0) { refl[k] = 0; continue; }
+		int r = (p[k+1] << 7) / (p[0] + 1);
+		refl[k] = r;
+		for (int i = 0; i + k + 1 < 9; i++) {
+			p[i+k+1] -= (r * p[i]) >> 7;
+		}
+	}
+	int e = 0;
+	for (int k = 0; k < 8; k++) {
+		int v = refl[k]; if (v < 0) v = -v;
+		e += v;
+	}
+	return e;
+}
+
+// ltpSearch finds the best long-term predictor lag against the history.
+int ltpSearch(int *s, int n) {
+	int best = 0;
+	int bestLag = 40;
+	for (int lag = 40; lag < 120; lag++) {
+		int corr = 0;
+		for (int i = 0; i < 40; i++) {
+			corr += (s[i] * history[119 - lag + i]) >> 8;
+		}
+		if (corr > best) { best = corr; bestLag = lag; }
+	}
+	return bestLag;
+}
+
+// quantise packs coefficients into the output bit array.
+void quantise(int e, int lag, int frame) {
+	int codes[12];
+	for (int i = 0; i < 12; i++) {
+		codes[i] = ((e >> (i % 6)) + lag + frame * 13) & 0x3f;
+	}
+	for (int i = 0; i < 76; i++) {
+		outbits[i] = (outbits[i] + codes[i % 12]) & 0xff;
+	}
+}
+
+void main() {
+	int seed = 1234;
+	int frames = 120;
+	for (int f = 0; f < frames; f++) {
+		// Synthesise one PCM frame (offset-compensated).
+		for (int i = 0; i < 160; i++) {
+			seed = seed * 1103515245 + 12345;
+			pcm[i] = ((seed >> 16) & 0xfff) - 2048;
+		}
+		int e = autocorr(pcm, 160);
+		int lag = ltpSearch(pcm, 160);
+		quantise(e, lag, f);
+		// Update predictor history.
+		for (int i = 0; i < 120; i++) {
+			history[i] = pcm[i] >> 2;
+		}
+		framesum += (e + lag) % 1021;
+	}
+	int check = framesum;
+	for (int i = 0; i < 76; i++) check += outbits[i];
+	printi(check);
+}
+`,
+	}
+}
+
+// Cjpeg is the JPEG compression skeleton: colour conversion, 8x8 forward
+// DCT, quantisation and zigzag run-length coding over a synthetic image.
+func Cjpeg() Workload {
+	return Workload{
+		Name:        "cjpeg",
+		Paper:       "Cjpeg",
+		Description: "JPEG-style compression: blockwise DCT + quantisation + RLE",
+		Category:    CategoryMacro,
+		Source: `
+// Cjpeg skeleton: 8x8 block DCT compression of a 128x128 image.
+int image[16384];   // 128*128 luma
+int quant[64] = {
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99};
+int zigzag[64] = {
+	0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+int bitcount;
+
+// fdct8 performs a separable 8-point DCT pass (integer approximation).
+void fdct8(int *v) {
+	int t[8];
+	for (int i = 0; i < 8; i++) t[i] = v[i];
+	for (int k = 0; k < 8; k++) {
+		int s = 0;
+		for (int i = 0; i < 8; i++) {
+			// cos approximated by a small integer kernel.
+			int c = ((k * (2 * i + 1)) % 32) - 16;
+			s += t[i] * c;
+		}
+		v[k] = s >> 4;
+	}
+}
+
+// encodeBlock transforms one 8x8 block in place and run-length codes it.
+int encodeBlock(int bx, int by) {
+	int blk[64];
+	for (int y = 0; y < 8; y++) {
+		for (int x = 0; x < 8; x++) {
+			blk[y*8+x] = image[(by*8+y)*128 + bx*8 + x] - 128;
+		}
+	}
+	// Row then column DCT passes.
+	for (int y = 0; y < 8; y++) fdct8(&blk[y*8]);
+	int col[8];
+	for (int x = 0; x < 8; x++) {
+		for (int y = 0; y < 8; y++) col[y] = blk[y*8+x];
+		fdct8(col);
+		for (int y = 0; y < 8; y++) blk[y*8+x] = col[y];
+	}
+	// Quantise.
+	for (int i = 0; i < 64; i++) blk[i] = blk[i] / quant[i];
+	// Zigzag RLE: count bits for nonzero coefficients.
+	int bits = 0;
+	int run = 0;
+	for (int i = 0; i < 64; i++) {
+		int v = blk[zigzag[i]];
+		if (v == 0) { run++; continue; }
+		if (v < 0) v = -v;
+		int mag = 0;
+		while (v > 0) { mag++; v = v >> 1; }
+		bits += 4 + mag + (run >> 4) * 11;
+		run = 0;
+	}
+	return bits;
+}
+
+void main() {
+	int seed = 555;
+	for (int i = 0; i < 16384; i++) {
+		seed = seed * 1103515245 + 12345;
+		image[i] = (seed >> 16) & 0xff;
+	}
+	for (int by = 0; by < 16; by++) {
+		for (int bx = 0; bx < 16; bx++) {
+			bitcount += encodeBlock(bx, by);
+		}
+	}
+	printi(bitcount % 1000000);
+}
+`,
+	}
+}
+
+// Quat is the 3D quaternion Julia fractal generator skeleton: per-pixel
+// escape-time iteration of q <- q^2 + c in 8.8 fixed point.
+func Quat() Workload {
+	return Workload{
+		Name:        "quat",
+		Paper:       "Quat",
+		Description: "quaternion Julia fractal, per-pixel escape iteration",
+		Category:    CategoryMacro,
+		Source: `
+// Quat skeleton: quaternion Julia set, 56x56 pixels, 8.8 fixed point.
+// Quaternions live in 4-element arrays, as the real generator's vector
+// code does.
+int img[3136]; // 56*56 iteration counts
+int hist[32];  // iteration histogram
+int c[4] = {0, 102, 51, 0}; // Julia constant, 8.8 (w filled in main)
+
+// quatSq squares q into nq (both 4-element arrays) and returns |q^2|^2
+// in 8.8.
+int quatSq(int *q, int *nq) {
+	nq[0] = (q[0]*q[0] - q[1]*q[1] - q[2]*q[2] - q[3]*q[3]) >> 8;
+	nq[1] = (2*q[0]*q[1]) >> 8;
+	nq[2] = (2*q[0]*q[2]) >> 8;
+	nq[3] = (2*q[0]*q[3]) >> 8;
+	int norm = 0;
+	for (int k = 0; k < 4; k++) norm += (nq[k]*nq[k]) >> 8;
+	return norm;
+}
+
+void main() {
+	int size = 56;
+	c[0] = -205;
+	c[3] = -26;
+	int q[4];
+	int nq[4];
+	for (int py = 0; py < size; py++) {
+		for (int px = 0; px < size; px++) {
+			// Start point on the viewing plane.
+			q[0] = ((px << 9) / size) - 256;
+			q[1] = ((py << 9) / size) - 256;
+			q[2] = 64;
+			q[3] = 0;
+			int it = 0;
+			while (it < 30) {
+				quatSq(q, nq);
+				int norm = 0;
+				for (int k = 0; k < 4; k++) {
+					q[k] = nq[k] + c[k];
+					norm += (q[k]*q[k]) >> 8;
+				}
+				if (norm > 1024) break;
+				it++;
+			}
+			img[py*size+px] = it;
+			hist[it % 32] += 1;
+		}
+	}
+	int check = 0;
+	for (int i = 0; i < size*size; i++) check += img[i];
+	for (int i = 0; i < 32; i++) check += hist[i] * i;
+	printi(check);
+}
+`,
+	}
+}
+
+// RayLab is the raytracer skeleton: ray-sphere intersection with integer
+// square root, flat shading, over a small scene.
+func RayLab() Workload {
+	return Workload{
+		Name:        "raylab",
+		Paper:       "RayLab",
+		Description: "raytracer: ray-sphere intersection and shading",
+		Category:    CategoryMacro,
+		Source: `
+// RayLab skeleton: raytrace 6 spheres onto a 48x48 plane, 8.8 fixed.
+// Spheres are records of 5 words (cx, cy, cz, radius, shade) in one
+// array, the layout the real renderer's struct array has in memory.
+int sph[30] = {
+	0,    0,    900,  200, 250,
+	300,  200,  1200, 150, 200,
+	-300, 100,  1000, 180, 150,
+	150,  -250, 800,  120, 100,
+	-150, -100, 1400, 220, 220,
+	0,    300,  700,  90,  180};
+int img[2304]; // 48*48
+
+// isqrt computes the integer square root by Newton iteration.
+int isqrt(int v) {
+	if (v <= 0) return 0;
+	int x = v;
+	int y = (x + 1) / 2;
+	while (y < x) {
+		x = y;
+		y = (x + v / x) / 2;
+	}
+	return x;
+}
+
+// trace returns the shade of the nearest sphere hit by the ray through
+// pixel (px, py), or 0 for the background.
+int trace(int dx, int dy, int dz) {
+	int best = 0x7fffffff;
+	int color = 0;
+	for (int s = 0; s < 6; s++) {
+		int base = s * 5;
+		int cx = sph[base];
+		int cy = sph[base+1];
+		int cz = sph[base+2];
+		int r = sph[base+3];
+		// Ray origin is 0; solve |t*d - c|^2 = r^2 (scaled).
+		int b = (dx*cx + dy*cy + dz*cz) >> 8;
+		int cc = ((cx*cx + cy*cy + cz*cz) >> 8) - ((r*r) >> 8);
+		int dd = (dx*dx + dy*dy + dz*dz) >> 8;
+		if (dd == 0) continue;
+		int disc = ((b*b) >> 8) - ((dd*cc) >> 8);
+		if (disc <= 0) continue;
+		int t = ((b - isqrt(disc << 8)) << 8) / dd;
+		if (t > 16 && t < best) {
+			best = t;
+			color = sph[base+4] - (t >> 6);
+			if (color < 0) color = 0;
+		}
+	}
+	return color;
+}
+
+void main() {
+	int size = 48;
+	for (int py = 0; py < size; py++) {
+		for (int px = 0; px < size; px++) {
+			int dx = ((px << 9) / size) - 256;
+			int dy = ((py << 9) / size) - 256;
+			int dz = 256;
+			img[py*size+px] = trace(dx, dy, dz);
+		}
+	}
+	int check = 0;
+	for (int i = 0; i < size*size; i++) check += img[i];
+	printi(check);
+}
+`,
+	}
+}
+
+// Speex is the voice codec skeleton: per-frame LPC analysis plus an
+// exhaustive fixed-codebook search, the dominant CELP loop.
+func Speex() Workload {
+	return Workload{
+		Name:        "speex",
+		Paper:       "Speex",
+		Description: "CELP-style voice coder: LPC + codebook search per frame",
+		Category:    CategoryMacro,
+		Source: `
+// Speex skeleton: CELP frame coding with exhaustive codebook search.
+int frame[40];      // subframe samples
+int codebook[2560]; // 64 codewords x 40 samples
+int excit[40];      // chosen excitation
+int outcodes[64];   // per-frame winners
+void main() {
+	int seed = 777;
+	for (int i = 0; i < 2560; i++) {
+		seed = seed * 1103515245 + 12345;
+		codebook[i] = ((seed >> 16) & 0xff) - 128;
+	}
+	int total = 0;
+	for (int f = 0; f < 64; f++) {
+		for (int i = 0; i < 40; i++) {
+			seed = seed * 1103515245 + 12345;
+			frame[i] = ((seed >> 16) & 0x3ff) - 512;
+		}
+		// Short-term prediction residual (2-tap).
+		for (int i = 39; i >= 2; i--) {
+			frame[i] = frame[i] - ((3 * frame[i-1]) >> 2) + (frame[i-2] >> 3);
+		}
+		// Exhaustive codebook search for max correlation / energy.
+		int bestScore = -2147483647;
+		int bestIdx = 0;
+		for (int c = 0; c < 64; c++) {
+			int corr = 0;
+			int energy = 1;
+			for (int i = 0; i < 40; i++) {
+				int cw = codebook[c*40+i];
+				corr += frame[i] * cw;
+				energy += cw * cw;
+			}
+			int score = (corr / 256) * (corr / 256) / (energy / 256 + 1);
+			if (corr < 0) score = -score;
+			if (score > bestScore) { bestScore = score; bestIdx = c; }
+		}
+		outcodes[f] = bestIdx;
+		for (int i = 0; i < 40; i++) excit[i] = codebook[bestIdx*40+i];
+		total += bestIdx + (excit[0] & 0xf);
+	}
+	int check = total;
+	for (int f = 0; f < 64; f++) check += outcodes[f] * f;
+	printi(check);
+}
+`,
+	}
+}
+
+// Gif2png is the image format converter skeleton: LZW-style decode of a
+// synthetic code stream followed by PNG Paeth filtering per row.
+func Gif2png() Workload {
+	return Workload{
+		Name:        "gif2png",
+		Paper:       "Gif2png",
+		Description: "GIF to PNG conversion: LZW-style decode + Paeth filter",
+		Category:    CategoryMacro,
+		Source: `
+// Gif2png skeleton: dictionary decode + per-row Paeth filtering.
+int codes[4096];    // synthetic input code stream
+int prefix[4096];   // LZW dictionary
+int suffix[4096];
+char pixels[16384]; // 128*128 decoded image
+char filtered[16384];
+int stack[4096];
+
+int paeth(int a, int b, int c) {
+	int p = a + b - c;
+	int pa = p - a; if (pa < 0) pa = -pa;
+	int pb = p - b; if (pb < 0) pb = -pb;
+	int pc = p - c; if (pc < 0) pc = -pc;
+	if (pa <= pb && pa <= pc) return a;
+	if (pb <= pc) return b;
+	return c;
+}
+
+void main() {
+	int seed = 31337;
+	// Synthetic code stream referencing a growing dictionary.
+	int dictSize = 256;
+	for (int i = 0; i < 4096; i++) {
+		seed = seed * 1103515245 + 12345;
+		codes[i] = (seed >> 16) & (dictSize - 1);
+		if (codes[i] < 0) codes[i] = -codes[i];
+		if (dictSize < 4096) dictSize++;
+	}
+	for (int i = 0; i < 256; i++) { prefix[i] = -1; suffix[i] = i; }
+	// Decode: expand each code through the dictionary onto a stack,
+	// then pop pixels out; extend the dictionary as in LZW.
+	int next = 256;
+	int out = 0;
+	int prev = codes[0] & 0xff;
+	for (int i = 0; i < 4096 && out < 16384; i++) {
+		int code = codes[i];
+		if (code >= next) code = prev;
+		int sp = 0;
+		int cur = code;
+		while (cur >= 0 && sp < 4096) {
+			stack[sp] = suffix[cur];
+			sp++;
+			cur = prefix[cur];
+		}
+		while (sp > 0 && out < 16384) {
+			sp--;
+			pixels[out] = stack[sp];
+			out++;
+		}
+		if (next < 4096) {
+			prefix[next] = prev;
+			suffix[next] = suffix[code];
+			next++;
+		}
+		prev = code;
+	}
+	// Paeth filter each 128-byte row against the previous row.
+	for (int y = 0; y < 128; y++) {
+		for (int x = 0; x < 128; x++) {
+			int a = 0; int b = 0; int c = 0;
+			if (x > 0) a = pixels[y*128 + x - 1];
+			if (y > 0) b = pixels[(y-1)*128 + x];
+			if (x > 0 && y > 0) c = pixels[(y-1)*128 + x - 1];
+			filtered[y*128+x] = (pixels[y*128+x] - paeth(a, b, c)) & 0xff;
+		}
+	}
+	int check = 0;
+	for (int i = 0; i < 16384; i++) check += filtered[i];
+	printi(check % 1000003);
+}
+`,
+	}
+}

@@ -1,0 +1,320 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cash/internal/core"
+)
+
+// Cross-implementation validation: each Table 1 kernel is reimplemented
+// here in Go with the identical fixed-point arithmetic, and its checksum
+// must equal the simulated machine's output. A mismatch implicates the
+// front end, a code generator, or the machine — this is an end-to-end
+// correctness oracle for the whole compilation stack, independent of the
+// mini-C sources' golden values.
+
+func runKernelGCC(t *testing.T, w Workload) int32 {
+	t.Helper()
+	art, err := core.Build(w.Source, core.ModeGCC, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := art.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("output = %v, want one checksum", res.Output)
+	}
+	return res.Output[0]
+}
+
+func TestMatMulReference(t *testing.T) {
+	n := 24
+	a := make([]int32, n*n)
+	b := make([]int32, n*n)
+	c := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = int32((i+j)%17 + 1)
+			b[i*n+j] = int32((i*3+j*7)%13 + 1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	var sum int32
+	for i := 0; i < n*n; i++ {
+		sum += c[i] % 9973
+	}
+	if got := runKernelGCC(t, MatMul(n)); got != sum {
+		t.Fatalf("machine checksum %d, Go reference %d", got, sum)
+	}
+}
+
+func TestGaussianReference(t *testing.T) {
+	n := 24
+	w := n + 1
+	m := make([]int32, n*w)
+	x := make([]int32, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < w; j++ {
+			if i == j {
+				m[i*w+j] = int32(n*8) << 8
+			} else {
+				m[i*w+j] = int32((i*7+j*3)%9-4) << 8
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			f := (m[i*w+k] << 8) / m[k*w+k]
+			for j := k; j < w; j++ {
+				m[i*w+j] -= (f * m[k*w+j]) >> 8
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := m[i*w+n]
+		for j := i + 1; j < n; j++ {
+			s -= (m[i*w+j] * x[j]) >> 8
+		}
+		x[i] = (s << 8) / m[i*w+i]
+	}
+	var sum int32
+	for i := 0; i < n; i++ {
+		sum += x[i]
+	}
+	if got := runKernelGCC(t, Gaussian(n)); got != sum {
+		t.Fatalf("machine checksum %d, Go reference %d", got, sum)
+	}
+}
+
+func TestEdgeDetectReference(t *testing.T) {
+	w, h := 64, 48
+	img := make([]int32, w*h)
+	gx := make([]int32, w*h)
+	gy := make([]int32, w*h)
+	edge := make([]int32, w*h)
+	seed := int32(42)
+	for i := range img {
+		seed = seed*1103515245 + 12345
+		img[i] = (seed >> 16) & 0xff
+	}
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			p := y*w + x
+			gx[p] = img[p-w+1] + 2*img[p+1] + img[p+w+1] -
+				img[p-w-1] - 2*img[p-1] - img[p+w-1]
+			gy[p] = img[p+w-1] + 2*img[p+w] + img[p+w+1] -
+				img[p-w-1] - 2*img[p-w] - img[p-w+1]
+		}
+	}
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			p := y*w + x
+			ax := gx[p]
+			if ax < 0 {
+				ax = -ax
+			}
+			ay := gy[p]
+			if ay < 0 {
+				ay = -ay
+			}
+			edge[p] = ax + ay
+		}
+	}
+	var sum int32
+	for i := range edge {
+		sum += edge[i] % 251
+	}
+	if got := runKernelGCC(t, EdgeDetect(w, h)); got != sum {
+		t.Fatalf("machine checksum %d, Go reference %d", got, sum)
+	}
+}
+
+func TestVolumeRenderReference(t *testing.T) {
+	g, r, steps := 16, 20, 16
+	gg := g * g
+	vol := make([]int32, g*g*g)
+	image := make([]int32, r*r)
+	opac := make([]int32, 64)
+	emis := make([]int32, 64)
+	seed := int32(7)
+	for i := range vol {
+		seed = seed*1103515245 + 12345
+		vol[i] = (seed >> 16) & 0x3f
+	}
+	for d := int32(0); d < 64; d++ {
+		opac[d] = d * 2
+		emis[d] = (d * d) >> 4
+	}
+	for py := 0; py < r; py++ {
+		for px := 0; px < r; px++ {
+			x := (px * g) / r
+			y := (py * g) / r
+			idx := y*g + x
+			var acc int32
+			trans := int32(256)
+			zlim := steps
+			if zlim > g {
+				zlim = g
+			}
+			for k := 0; k < zlim; k++ {
+				d := vol[idx]
+				idx += gg
+				acc += (trans * emis[d]) >> 8
+				trans -= (trans * opac[d]) >> 8
+				if trans < 4 {
+					break
+				}
+			}
+			image[py*r+px] = acc
+		}
+	}
+	var sum int32
+	for i := range image {
+		sum += image[i] % 769
+	}
+	if got := runKernelGCC(t, VolumeRender(g, r, steps)); got != sum {
+		t.Fatalf("machine checksum %d, Go reference %d", got, sum)
+	}
+}
+
+func TestSVDReference(t *testing.T) {
+	m, n, iters := 24, 16, 8
+	a := make([]int32, m*n)
+	x := make([]int32, n)
+	y := make([]int32, m)
+	seed := int32(99)
+	for i := range a {
+		seed = seed*1103515245 + 12345
+		a[i] = (seed>>16)%17 - 8
+	}
+	for j := range x {
+		x[j] = 256
+	}
+	var sigma int32
+	for it := 0; it < iters; it++ {
+		for i := 0; i < m; i++ {
+			var s int32
+			for j := 0; j < n; j++ {
+				s += a[i*n+j] * x[j]
+			}
+			y[i] = s >> 4
+		}
+		for j := 0; j < n; j++ {
+			var s int32
+			for i := 0; i < m; i++ {
+				s += a[i*n+j] * y[i]
+			}
+			x[j] = s >> 4
+		}
+		var norm int32
+		for j := 0; j < n; j++ {
+			v := x[j]
+			if v < 0 {
+				v = -v
+			}
+			if v > norm {
+				norm = v
+			}
+		}
+		sigma = norm
+		if norm > 0 {
+			for j := 0; j < n; j++ {
+				x[j] = (x[j] << 8) / norm
+			}
+		}
+	}
+	sum := sigma % 100000
+	for j := 0; j < n; j++ {
+		sum += x[j] % 641
+	}
+	if got := runKernelGCC(t, SVD(m, n, iters)); got != sum {
+		t.Fatalf("machine checksum %d, Go reference %d", got, sum)
+	}
+}
+
+func TestFFT2DReference(t *testing.T) {
+	n := 16
+	logn := 4
+	nn := n * n
+	re := make([]int32, nn)
+	im := make([]int32, nn)
+	sine := make([]int32, n)
+	rev := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sine[i] = int32(math.Round(256 * math.Sin(2*math.Pi*float64(i)/float64(2*n))))
+	}
+	for i := 0; i < n; i++ {
+		r := 0
+		v := i
+		for bit := 0; bit < logn; bit++ {
+			r = r<<1 | v&1
+			v >>= 1
+		}
+		rev[i] = int32(r)
+	}
+	fft1d := func(rp, ip []int32) {
+		for i := 0; i < n; i++ {
+			j := rev[i]
+			if int(j) > i {
+				rp[i], rp[j] = rp[j], rp[i]
+				ip[i], ip[j] = ip[j], ip[i]
+			}
+		}
+		for length := 2; length <= n; length <<= 1 {
+			half := length >> 1
+			step := n / length
+			for base := 0; base < n; base += length {
+				for k := 0; k < half; k++ {
+					widx := k * step
+					wr := sine[widx+n>>1]
+					wi := -sine[widx]
+					ur := rp[base+k]
+					ui := ip[base+k]
+					vr := (rp[base+k+half]*wr - ip[base+k+half]*wi) >> 8
+					vi := (rp[base+k+half]*wi + ip[base+k+half]*wr) >> 8
+					rp[base+k] = ur + vr
+					ip[base+k] = ui + vi
+					rp[base+k+half] = ur - vr
+					ip[base+k+half] = ui - vi
+				}
+			}
+		}
+	}
+	for i := 0; i < nn; i++ {
+		re[i] = ((int32(i)*1103 + 12345) >> 4) % 256
+		im[i] = 0
+	}
+	for r := 0; r < n; r++ {
+		fft1d(re[r*n:(r+1)*n], im[r*n:(r+1)*n])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			re[i*n+j], re[j*n+i] = re[j*n+i], re[i*n+j]
+			im[i*n+j], im[j*n+i] = im[j*n+i], im[i*n+j]
+		}
+	}
+	for r := 0; r < n; r++ {
+		fft1d(re[r*n:(r+1)*n], im[r*n:(r+1)*n])
+	}
+	var sum int32
+	for i := 0; i < nn; i++ {
+		sum += (re[i] + im[i]) % 997
+	}
+	if got := runKernelGCC(t, FFT2D(n)); got != sum {
+		t.Fatalf("machine checksum %d, Go reference %d", got, sum)
+	}
+}

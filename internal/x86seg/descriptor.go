@@ -1,0 +1,137 @@
+package x86seg
+
+import "fmt"
+
+// Kind classifies a descriptor. Only the kinds the Cash system touches are
+// modelled: code and data segments plus call gates (used by the
+// cash_modify_ldt fast kernel entry).
+type Kind int
+
+// Descriptor kinds.
+const (
+	KindData Kind = iota + 1
+	KindCode
+	KindCallGate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindCode:
+		return "code"
+	case KindCallGate:
+		return "call-gate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// PageGranule is the limit-scaling factor applied when the granularity bit
+// is set: the 20-bit limit field counts 4 KiB units instead of bytes.
+const PageGranule = 1 << 12
+
+// MaxByteLimit is the largest byte-granular limit the 20-bit field encodes
+// (a segment of exactly 1 MiB). Larger segments require the G bit.
+const MaxByteLimit = 1<<20 - 1
+
+// Descriptor is an 8-byte segment descriptor as stored in the GDT or LDT.
+// Limit is the raw 20-bit field; the effective byte limit depends on the
+// granularity bit (see EffectiveLimit).
+type Descriptor struct {
+	Base        uint32 // segment start linear address
+	Limit       uint32 // raw 20-bit limit field
+	Granularity bool   // G bit: limit counts 4 KiB units
+	Present     bool   // P bit
+	DPL         int    // descriptor privilege level, 0..3
+	Kind        Kind
+	Writable    bool // data segments: writes permitted
+
+	// Call-gate fields (Kind == KindCallGate).
+	GateTarget int // kernel routine id the gate transfers to
+}
+
+// EffectiveLimit returns the highest valid byte offset within the segment.
+// With G=0 that is Limit itself (0 .. 2^20-1). With G=1 the hardware scales
+// Limit by 4 KiB and fills the low 12 bits with ones: the check ignores the
+// low 12 bits of the offset, which is exactly the <=4 KiB lower-bound slack
+// the paper analyses in §3.5 / Figure 2.
+func (d Descriptor) EffectiveLimit() uint32 {
+	if d.Granularity {
+		return d.Limit<<12 | 0xfff
+	}
+	return d.Limit
+}
+
+// ByteSize returns the segment size in bytes (EffectiveLimit + 1).
+func (d Descriptor) ByteSize() uint32 { return d.EffectiveLimit() + 1 }
+
+// NewDataDescriptor builds a writable, present data-segment descriptor
+// covering [base, base+size). Segments of 1 MiB or less are byte-granular.
+// Larger segments set the granularity bit; per §3.5 the limit is rounded up
+// to the minimum multiple of 4 KiB covering size, and callers that need
+// byte-exact upper bounds must align the end of the object with the end of
+// the segment. Size zero is rejected.
+func NewDataDescriptor(base, size uint32) (Descriptor, error) {
+	if size == 0 {
+		return Descriptor{}, fmt.Errorf("x86seg: zero-size segment at base %#x", base)
+	}
+	d := Descriptor{
+		Base:     base,
+		Present:  true,
+		DPL:      3,
+		Kind:     KindData,
+		Writable: true,
+	}
+	if size-1 <= MaxByteLimit {
+		d.Limit = size - 1
+		return d, nil
+	}
+	// Round up to whole pages; the limit field counts 4 KiB units.
+	pages := (uint64(size) + PageGranule - 1) / PageGranule
+	if pages > 1<<20 {
+		return Descriptor{}, fmt.Errorf("x86seg: segment size %d exceeds 4 GiB addressing", size)
+	}
+	d.Granularity = true
+	d.Limit = uint32(pages - 1)
+	return d, nil
+}
+
+// Check performs the segment limit check the hardware applies to a memory
+// reference of the given size (in bytes) at the given offset. It returns a
+// *Fault if any byte of the access lies outside the segment, if the segment
+// is not present, or if a write targets a read-only segment.
+func (d Descriptor) Check(offset uint32, size uint32, write bool) error {
+	if !d.Present {
+		return &Fault{Code: FaultNotPresent, Offset: offset}
+	}
+	if d.Kind == KindCallGate {
+		return &Fault{Code: FaultGP, Offset: offset, Detail: "data access through call gate descriptor"}
+	}
+	if write && (d.Kind == KindCode || !d.Writable) {
+		// Code segments are never writable; data segments honour the W bit.
+		return &Fault{Code: FaultGP, Offset: offset, Detail: "write to read-only segment"}
+	}
+	if size == 0 {
+		size = 1
+	}
+	limit := d.EffectiveLimit()
+	// offset+size-1 must not wrap and must stay within the limit.
+	end := uint64(offset) + uint64(size) - 1
+	if end > uint64(limit) {
+		return &Fault{
+			Code:   FaultGP,
+			Offset: offset,
+			Detail: fmt.Sprintf("limit check: offset %#x size %d exceeds limit %#x", offset, size, limit),
+		}
+	}
+	return nil
+}
+
+func (d Descriptor) String() string {
+	g := ""
+	if d.Granularity {
+		g = " G"
+	}
+	return fmt.Sprintf("%s base=%#x limit=%#x%s dpl=%d", d.Kind, d.Base, d.EffectiveLimit(), g, d.DPL)
+}

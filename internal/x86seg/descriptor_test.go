@@ -1,0 +1,215 @@
+package x86seg
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDataDescriptorByteGranular(t *testing.T) {
+	tests := []struct {
+		name string
+		base uint32
+		size uint32
+	}{
+		{name: "one byte", base: 0x1000, size: 1},
+		{name: "100 bytes", base: 0x2000, size: 100},
+		{name: "exactly 1MiB", base: 0, size: 1 << 20},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, err := NewDataDescriptor(tt.base, tt.size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Granularity {
+				t.Error("segments <= 1 MiB must be byte-granular")
+			}
+			if got := d.ByteSize(); got != tt.size {
+				t.Errorf("ByteSize = %d, want %d", got, tt.size)
+			}
+			if got := d.EffectiveLimit(); got != tt.size-1 {
+				t.Errorf("EffectiveLimit = %#x, want %#x", got, tt.size-1)
+			}
+		})
+	}
+}
+
+func TestNewDataDescriptorPageGranular(t *testing.T) {
+	// 1 MiB + 1 byte forces the G bit; limit rounds up to 4 KiB units (§3.5).
+	d, err := NewDataDescriptor(0x100000, 1<<20+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Granularity {
+		t.Fatal("segment > 1 MiB must set the granularity bit")
+	}
+	// Rounded size: 257 pages.
+	if got := d.ByteSize(); got != 257*PageGranule {
+		t.Fatalf("ByteSize = %d, want %d", got, 257*PageGranule)
+	}
+}
+
+func TestNewDataDescriptorZeroSize(t *testing.T) {
+	if _, err := NewDataDescriptor(0, 0); err == nil {
+		t.Fatal("zero-size segment must be rejected")
+	}
+}
+
+func TestNewDataDescriptorMax(t *testing.T) {
+	d, err := NewDataDescriptor(0, 0xffffffff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.EffectiveLimit(); got != 0xffffffff {
+		t.Fatalf("EffectiveLimit = %#x, want 0xffffffff", got)
+	}
+}
+
+func TestLimitCheck(t *testing.T) {
+	d, err := NewDataDescriptor(0x1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		offset uint32
+		size   uint32
+		wantOK bool
+	}{
+		{name: "first byte", offset: 0, size: 1, wantOK: true},
+		{name: "last byte", offset: 99, size: 1, wantOK: true},
+		{name: "last word", offset: 96, size: 4, wantOK: true},
+		{name: "one past end", offset: 100, size: 1, wantOK: false},
+		{name: "word straddling end", offset: 97, size: 4, wantOK: false},
+		{name: "far out", offset: 0xffffffff, size: 1, wantOK: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := d.Check(tt.offset, tt.size, false)
+			if ok := err == nil; ok != tt.wantOK {
+				t.Fatalf("Check(%#x, %d) err = %v, want ok=%v", tt.offset, tt.size, err, tt.wantOK)
+			}
+			if err != nil {
+				var f *Fault
+				if !errors.As(err, &f) || f.Code != FaultGP {
+					t.Fatalf("limit violation must be #GP, got %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestGranularityLowerBoundSlack reproduces the §3.5 / Figure 2 property:
+// for a page-granular segment, the limit check ignores the low 12 bits of
+// the offset, so the upper bound is byte-exact only if the array end is
+// aligned with the segment end, and up to 4 KiB of slack exists at the
+// low end of the first page.
+func TestGranularityLowerBoundSlack(t *testing.T) {
+	size := uint32(1<<20 + 100) // > 1 MiB: needs G bit; rounds to 257 pages
+	d, err := NewDataDescriptor(0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segBytes := d.ByteSize()
+	if segBytes != 257*PageGranule {
+		t.Fatalf("segment rounds to %d bytes, want %d", segBytes, 257*PageGranule)
+	}
+	// Everything below the rounded segment size passes — including the
+	// (segBytes - size) bytes that do not belong to the array. That slack
+	// is strictly less than one page.
+	slack := segBytes - size
+	if slack >= PageGranule {
+		t.Fatalf("slack %d must be < one page", slack)
+	}
+	if err := d.Check(segBytes-1, 1, false); err != nil {
+		t.Errorf("offset at segment end must pass: %v", err)
+	}
+	if err := d.Check(segBytes, 1, false); err == nil {
+		t.Error("offset one past rounded segment must fault")
+	}
+	// With end-alignment (§3.5): place the array so its last byte is the
+	// segment's last byte; the upper bound check is then byte-exact.
+	arrayStart := segBytes - size
+	if err := d.Check(arrayStart+size-1, 1, false); err != nil {
+		t.Errorf("last array byte must pass: %v", err)
+	}
+	if err := d.Check(arrayStart+size, 1, false); err == nil {
+		t.Error("one past end-aligned array must fault (upper bound exact)")
+	}
+	// The lower bound is NOT exact: offsets in [0, arrayStart) pass the
+	// hardware check even though they precede the array.
+	if arrayStart > 0 {
+		if err := d.Check(0, 1, false); err != nil {
+			t.Errorf("lower-bound slack: offset 0 passes the hardware check: %v", err)
+		}
+	}
+}
+
+func TestReadOnlyWriteFaults(t *testing.T) {
+	d, err := NewDataDescriptor(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Writable = false
+	if err := d.Check(0, 4, false); err != nil {
+		t.Fatalf("read from read-only segment must pass: %v", err)
+	}
+	if err := d.Check(0, 4, true); err == nil {
+		t.Fatal("write to read-only segment must fault")
+	}
+}
+
+func TestNotPresentFaults(t *testing.T) {
+	d, err := NewDataDescriptor(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Present = false
+	err = d.Check(0, 1, false)
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != FaultNotPresent {
+		t.Fatalf("want #NP, got %v", err)
+	}
+}
+
+func TestCallGateDataAccessFaults(t *testing.T) {
+	d := Descriptor{Present: true, Kind: KindCallGate, GateTarget: 1}
+	if err := d.Check(0, 4, false); err == nil {
+		t.Fatal("data access through a call gate must fault")
+	}
+}
+
+// TestQuickDescriptorCoversExactRange: for byte-granular segments every
+// offset below size passes and every offset at or beyond size faults.
+func TestQuickDescriptorCoversExactRange(t *testing.T) {
+	f := func(base uint32, sz uint16, probe uint32) bool {
+		size := uint32(sz)%MaxByteLimit + 1
+		d, err := NewDataDescriptor(base, size)
+		if err != nil {
+			return false
+		}
+		inBounds := probe < size
+		return (d.Check(probe, 1, true) == nil) == inBounds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGranularSegmentContainsArray: a page-granular descriptor always
+// covers the requested size, and overshoots by less than one page.
+func TestQuickGranularSegmentContainsArray(t *testing.T) {
+	f := func(extra uint32) bool {
+		size := uint32(1<<20) + extra%(1<<24) + 1
+		d, err := NewDataDescriptor(0, size)
+		if err != nil {
+			return false
+		}
+		got := d.ByteSize()
+		return got >= size && got-size < PageGranule
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

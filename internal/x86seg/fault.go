@@ -1,0 +1,49 @@
+package x86seg
+
+import "fmt"
+
+// FaultCode identifies the class of a segmentation fault.
+type FaultCode int
+
+// Fault codes raised by the segmentation hardware model.
+const (
+	// FaultGP is a general-protection fault: limit violation, write to a
+	// read-only segment, use of a null selector, or a selector index
+	// beyond the descriptor table limit.
+	FaultGP FaultCode = iota + 1
+	// FaultNotPresent is raised when a reference goes through a
+	// descriptor whose present bit is clear.
+	FaultNotPresent
+)
+
+func (c FaultCode) String() string {
+	switch c {
+	case FaultGP:
+		return "#GP"
+	case FaultNotPresent:
+		return "#NP"
+	default:
+		return fmt.Sprintf("FaultCode(%d)", int(c))
+	}
+}
+
+// Fault is the error produced when a memory reference fails a segmentation
+// check. In the Cash system a #GP on an array segment *is* the detected
+// array bound violation.
+type Fault struct {
+	Code     FaultCode
+	Selector Selector // selector in use, when known
+	Offset   uint32   // offending offset within the segment
+	Detail   string
+}
+
+func (f *Fault) Error() string {
+	msg := fmt.Sprintf("%s at offset %#x", f.Code, f.Offset)
+	if !f.Selector.IsNull() || f.Selector != 0 {
+		msg += " via " + f.Selector.String()
+	}
+	if f.Detail != "" {
+		msg += ": " + f.Detail
+	}
+	return msg
+}

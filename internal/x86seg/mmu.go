@@ -1,0 +1,125 @@
+package x86seg
+
+import "fmt"
+
+// SegReg names one of the six segment registers.
+type SegReg int
+
+// The six IA-32 segment registers. CS/SS/DS are reserved for code, stack
+// and data; ES, FS and GS (and optionally SS, §3.7) are available to Cash
+// for array segments.
+const (
+	ES SegReg = iota
+	CS
+	SS
+	DS
+	FS
+	GS
+	NumSegRegs = 6
+)
+
+var segRegNames = [NumSegRegs]string{"ES", "CS", "SS", "DS", "FS", "GS"}
+
+func (r SegReg) String() string {
+	if r >= 0 && int(r) < NumSegRegs {
+		return segRegNames[r]
+	}
+	return fmt.Sprintf("SegReg(%d)", int(r))
+}
+
+// segRegister is one segment register: the visible selector plus the hidden
+// part (descriptor cache / shadow register) loaded from the descriptor
+// table at MOV-to-segment-register time.
+type segRegister struct {
+	selector Selector
+	cache    Descriptor
+	loaded   bool // hidden part holds a valid descriptor
+}
+
+// MMU is the segmentation unit: the GDT, the current LDT, and the six
+// segment registers. Every memory reference is translated and limit-checked
+// through one of the registers.
+type MMU struct {
+	gdt  *DescriptorTable
+	ldt  *DescriptorTable
+	regs [NumSegRegs]segRegister
+}
+
+// NewMMU returns an MMU with empty GDT and LDT and all segment registers
+// holding null selectors.
+func NewMMU() *MMU {
+	return &MMU{gdt: NewTable("GDT"), ldt: NewTable("LDT")}
+}
+
+// GDT returns the global descriptor table.
+func (m *MMU) GDT() *DescriptorTable { return m.gdt }
+
+// LDT returns the current local descriptor table.
+func (m *MMU) LDT() *DescriptorTable { return m.ldt }
+
+// SetLDT switches the current LDT, as a context switch (or LDTR rewrite)
+// would. Segment registers keep their cached descriptors: stale hidden
+// parts are a real hardware hazard the paper calls out, and tests exercise
+// it deliberately.
+func (m *MMU) SetLDT(t *DescriptorTable) { m.ldt = t }
+
+func (m *MMU) table(sel Selector) *DescriptorTable {
+	if sel.Table() == LDT {
+		return m.ldt
+	}
+	return m.gdt
+}
+
+// Load performs MOV to a segment register: the selector is validated
+// against its descriptor table and the descriptor is copied into the hidden
+// part. Loading a null selector into a data segment register succeeds (the
+// fault comes at use time); loading one into CS or SS faults immediately.
+func (m *MMU) Load(r SegReg, sel Selector) error {
+	if sel.IsNull() {
+		if r == CS || r == SS {
+			return &Fault{Code: FaultGP, Selector: sel, Detail: "null selector loaded into " + r.String()}
+		}
+		m.regs[r] = segRegister{selector: sel}
+		return nil
+	}
+	d, err := m.table(sel).Lookup(sel)
+	if err != nil {
+		return err
+	}
+	if !d.Present {
+		return &Fault{Code: FaultNotPresent, Selector: sel, Detail: "descriptor not present"}
+	}
+	m.regs[r] = segRegister{selector: sel, cache: d, loaded: true}
+	return nil
+}
+
+// Selector returns the visible part of a segment register.
+func (m *MMU) Selector(r SegReg) Selector { return m.regs[r].selector }
+
+// Cached returns the hidden descriptor of a segment register and whether it
+// holds a valid descriptor.
+func (m *MMU) Cached(r SegReg) (Descriptor, bool) {
+	return m.regs[r].cache, m.regs[r].loaded
+}
+
+// Translate checks a memory reference of size bytes at offset through
+// segment register r and returns the linear address (segment base +
+// offset). The limit check uses the cached descriptor — not the in-memory
+// table — so a descriptor modified after loading is not observed until the
+// register is reloaded, exactly as on real hardware.
+func (m *MMU) Translate(r SegReg, offset uint32, size uint32, write bool) (uint32, error) {
+	reg := &m.regs[r]
+	if !reg.loaded {
+		return 0, &Fault{
+			Code: FaultGP, Selector: reg.selector, Offset: offset,
+			Detail: "memory reference through unloaded segment register " + r.String(),
+		}
+	}
+	if err := reg.cache.Check(offset, size, write); err != nil {
+		if f, ok := err.(*Fault); ok {
+			f.Selector = reg.selector
+		}
+		return 0, err
+	}
+	return reg.cache.Base + offset, nil
+}

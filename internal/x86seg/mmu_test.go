@@ -1,0 +1,187 @@
+package x86seg
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTestMMU(t *testing.T) *MMU {
+	t.Helper()
+	m := NewMMU()
+	// Flat data segment in the GDT at entry 2, like the Linux layout.
+	flat := mustDescriptor(t, 0, 0xffffffff)
+	if err := m.GDT().Set(2, flat); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(DS, NewSelector(2, GDT, 3)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTranslateFlatSegment(t *testing.T) {
+	m := newTestMMU(t)
+	lin, err := m.Translate(DS, 0x1234, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin != 0x1234 {
+		t.Fatalf("Translate = %#x, want 0x1234", lin)
+	}
+}
+
+func TestTranslateArraySegment(t *testing.T) {
+	m := newTestMMU(t)
+	// A 40-byte array at linear 0x8000, as Cash would set it up.
+	arr := mustDescriptor(t, 0x8000, 40)
+	if err := m.LDT().Set(1, arr); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(GS, NewSelector(1, LDT, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// In-bounds element 9 (offset 36, word access).
+	lin, err := m.Translate(GS, 36, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin != 0x8000+36 {
+		t.Fatalf("Translate = %#x, want %#x", lin, 0x8000+36)
+	}
+	// Element 10 is the classic off-by-one overflow: #GP.
+	_, err = m.Translate(GS, 40, 4, true)
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != FaultGP {
+		t.Fatalf("off-by-one access: want #GP, got %v", err)
+	}
+	if f.Selector != NewSelector(1, LDT, 3) {
+		t.Errorf("fault selector = %v, want LDT[1]", f.Selector)
+	}
+}
+
+func TestNullSelectorLoadAndUse(t *testing.T) {
+	m := NewMMU()
+	null := NewSelector(0, GDT, 0)
+	// Loading null into a data register succeeds.
+	if err := m.Load(ES, null); err != nil {
+		t.Fatalf("loading null into ES must succeed: %v", err)
+	}
+	// Using it faults.
+	if _, err := m.Translate(ES, 0, 1, false); err == nil {
+		t.Fatal("reference through null-loaded ES must fault")
+	}
+	// Loading null into CS or SS faults immediately.
+	if err := m.Load(CS, null); err == nil {
+		t.Fatal("loading null into CS must fault")
+	}
+	if err := m.Load(SS, null); err == nil {
+		t.Fatal("loading null into SS must fault")
+	}
+}
+
+func TestUnloadedRegisterFaults(t *testing.T) {
+	m := NewMMU()
+	if _, err := m.Translate(FS, 0, 4, false); err == nil {
+		t.Fatal("reference through never-loaded FS must fault")
+	}
+}
+
+func TestLoadValidatesDescriptor(t *testing.T) {
+	m := NewMMU()
+	if err := m.Load(GS, NewSelector(9, LDT, 3)); err == nil {
+		t.Fatal("loading a selector with no descriptor must fault")
+	}
+	d := mustDescriptor(t, 0, 16)
+	d.Present = false
+	if err := m.LDT().Set(9, d); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Load(GS, NewSelector(9, LDT, 3))
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != FaultNotPresent {
+		t.Fatalf("loading not-present descriptor: want #NP, got %v", err)
+	}
+}
+
+// TestShadowRegisterStaleness models the descriptor-cache behaviour the
+// paper describes in §3.1: after the in-memory descriptor is modified, a
+// loaded segment register keeps using the old cached copy until software
+// reloads it.
+func TestShadowRegisterStaleness(t *testing.T) {
+	m := NewMMU()
+	d := mustDescriptor(t, 0x1000, 100)
+	if err := m.LDT().Set(3, d); err != nil {
+		t.Fatal(err)
+	}
+	sel := NewSelector(3, LDT, 3)
+	if err := m.Load(FS, sel); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the segment in the table. The cached copy is unaffected.
+	small := mustDescriptor(t, 0x1000, 10)
+	if err := m.LDT().Set(3, small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Translate(FS, 50, 1, false); err != nil {
+		t.Fatalf("stale cache must still allow offset 50: %v", err)
+	}
+	// After an explicit reload the new limit applies.
+	if err := m.Load(FS, sel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Translate(FS, 50, 1, false); err == nil {
+		t.Fatal("after reload, offset 50 must fault against limit 9")
+	}
+}
+
+func TestSetLDTSwitchesTable(t *testing.T) {
+	m := NewMMU()
+	ldt2 := NewTable("LDT2")
+	d := mustDescriptor(t, 0x9000, 32)
+	if err := ldt2.Set(1, d); err != nil {
+		t.Fatal(err)
+	}
+	// Not visible before the switch.
+	if err := m.Load(GS, NewSelector(1, LDT, 3)); err == nil {
+		t.Fatal("descriptor in a non-current LDT must not resolve")
+	}
+	m.SetLDT(ldt2)
+	if err := m.Load(GS, NewSelector(1, LDT, 3)); err != nil {
+		t.Fatalf("after SetLDT the descriptor must resolve: %v", err)
+	}
+	if m.LDT() != ldt2 {
+		t.Error("LDT() must return the switched table")
+	}
+}
+
+func TestSelectorVisiblePart(t *testing.T) {
+	m := newTestMMU(t)
+	want := NewSelector(2, GDT, 3)
+	if got := m.Selector(DS); got != want {
+		t.Fatalf("Selector(DS) = %v, want %v", got, want)
+	}
+	if _, ok := m.Cached(DS); !ok {
+		t.Fatal("Cached(DS) must report a loaded descriptor")
+	}
+	if _, ok := m.Cached(GS); ok {
+		t.Fatal("Cached(GS) must report unloaded")
+	}
+}
+
+func TestWriteProtection(t *testing.T) {
+	m := NewMMU()
+	d := mustDescriptor(t, 0, 64)
+	d.Writable = false
+	if err := m.GDT().Set(4, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(ES, NewSelector(4, GDT, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Translate(ES, 0, 4, false); err != nil {
+		t.Fatalf("read must pass: %v", err)
+	}
+	if _, err := m.Translate(ES, 0, 4, true); err == nil {
+		t.Fatal("write to read-only segment must fault")
+	}
+}

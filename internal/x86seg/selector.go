@@ -1,0 +1,81 @@
+// Package x86seg models the segmentation half of the IA-32 virtual memory
+// hardware: segment selectors, segment descriptors, the GDT and per-process
+// LDT descriptor tables, segment registers with their hidden descriptor
+// caches, and the segment limit check performed on every memory reference.
+//
+// This is the hardware feature the Cash paper (Lam & Chiueh, DSN 2005)
+// exploits: by allocating one segment per array and generating array
+// references through a segment register, the limit check becomes an array
+// bound check that costs nothing per reference.
+package x86seg
+
+import "fmt"
+
+// Table selects which descriptor table a selector indexes.
+type Table int
+
+// Descriptor table indicators, encoded in the TI bit of a selector.
+const (
+	GDT Table = iota + 1
+	LDT
+)
+
+func (t Table) String() string {
+	switch t {
+	case GDT:
+		return "GDT"
+	case LDT:
+		return "LDT"
+	default:
+		return fmt.Sprintf("Table(%d)", int(t))
+	}
+}
+
+// TableEntries is the number of descriptors in a GDT or LDT: the selector
+// index field is 13 bits wide, so 8192 entries.
+const TableEntries = 8192
+
+// Selector is a 16-bit x86 segment selector:
+//
+//	bits 15..3  index into the GDT or LDT (13 bits, 8192 entries)
+//	bit  2      TI: 0 = GDT, 1 = LDT
+//	bits 1..0   RPL: requested privilege level
+type Selector uint16
+
+// NewSelector builds a selector from its fields. Index must be in
+// [0, TableEntries); values outside are masked to 13 bits, as the
+// hardware register would.
+func NewSelector(index int, table Table, rpl int) Selector {
+	s := Selector(index&0x1fff) << 3
+	if table == LDT {
+		s |= 1 << 2
+	}
+	s |= Selector(rpl & 3)
+	return s
+}
+
+// Index returns the 13-bit descriptor table index.
+func (s Selector) Index() int { return int(s >> 3) }
+
+// Table returns which descriptor table the selector refers to.
+func (s Selector) Table() Table {
+	if s&(1<<2) != 0 {
+		return LDT
+	}
+	return GDT
+}
+
+// RPL returns the requested privilege level.
+func (s Selector) RPL() int { return int(s & 3) }
+
+// IsNull reports whether s is a null selector: index 0 with TI = 0.
+// Loading a null selector into a data segment register is legal; using
+// that register for a memory reference raises #GP.
+func (s Selector) IsNull() bool { return s&^3 == 0 }
+
+func (s Selector) String() string {
+	if s.IsNull() {
+		return "null-selector"
+	}
+	return fmt.Sprintf("%s[%d]:rpl%d", s.Table(), s.Index(), s.RPL())
+}

@@ -1,0 +1,72 @@
+package x86seg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectorFields(t *testing.T) {
+	tests := []struct {
+		name  string
+		index int
+		table Table
+		rpl   int
+	}{
+		{name: "gdt entry 1", index: 1, table: GDT, rpl: 0},
+		{name: "ldt entry 7", index: 7, table: LDT, rpl: 3},
+		{name: "max index", index: TableEntries - 1, table: LDT, rpl: 2},
+		{name: "zero ldt", index: 0, table: LDT, rpl: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := NewSelector(tt.index, tt.table, tt.rpl)
+			if got := s.Index(); got != tt.index {
+				t.Errorf("Index = %d, want %d", got, tt.index)
+			}
+			if got := s.Table(); got != tt.table {
+				t.Errorf("Table = %v, want %v", got, tt.table)
+			}
+			if got := s.RPL(); got != tt.rpl {
+				t.Errorf("RPL = %d, want %d", got, tt.rpl)
+			}
+		})
+	}
+}
+
+func TestNullSelector(t *testing.T) {
+	if s := NewSelector(0, GDT, 0); !s.IsNull() {
+		t.Error("GDT[0] rpl 0 should be null")
+	}
+	if s := NewSelector(0, GDT, 3); !s.IsNull() {
+		t.Error("RPL does not affect nullness")
+	}
+	if s := NewSelector(0, LDT, 0); s.IsNull() {
+		t.Error("LDT[0] is not a null selector")
+	}
+	if s := NewSelector(1, GDT, 0); s.IsNull() {
+		t.Error("GDT[1] is not a null selector")
+	}
+}
+
+func TestSelectorIndexMasked(t *testing.T) {
+	s := NewSelector(TableEntries+5, GDT, 0)
+	if got := s.Index(); got != 5 {
+		t.Fatalf("Index masked to 13 bits: got %d, want 5", got)
+	}
+}
+
+func TestQuickSelectorRoundTrip(t *testing.T) {
+	f := func(index uint16, ldt bool, rpl uint8) bool {
+		idx := int(index) % TableEntries
+		tbl := GDT
+		if ldt {
+			tbl = LDT
+		}
+		r := int(rpl) % 4
+		s := NewSelector(idx, tbl, r)
+		return s.Index() == idx && s.Table() == tbl && s.RPL() == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package x86seg
+
+import (
+	"strings"
+	"testing"
+)
+
+// String renderings appear in fault messages and disassembly listings;
+// pin their formats.
+
+func TestStringerFormats(t *testing.T) {
+	if got := GDT.String(); got != "GDT" {
+		t.Errorf("GDT.String() = %q", got)
+	}
+	if got := LDT.String(); got != "LDT" {
+		t.Errorf("LDT.String() = %q", got)
+	}
+	if got := Table(0).String(); !strings.Contains(got, "Table(") {
+		t.Errorf("unknown table String() = %q", got)
+	}
+	if got := KindData.String(); got != "data" {
+		t.Errorf("KindData = %q", got)
+	}
+	if got := KindCode.String(); got != "code" {
+		t.Errorf("KindCode = %q", got)
+	}
+	if got := KindCallGate.String(); got != "call-gate" {
+		t.Errorf("KindCallGate = %q", got)
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "Kind(") {
+		t.Errorf("unknown kind = %q", got)
+	}
+	if got := FaultGP.String(); got != "#GP" {
+		t.Errorf("FaultGP = %q", got)
+	}
+	if got := FaultNotPresent.String(); got != "#NP" {
+		t.Errorf("FaultNotPresent = %q", got)
+	}
+	if got := FaultCode(42).String(); !strings.Contains(got, "FaultCode(") {
+		t.Errorf("unknown fault code = %q", got)
+	}
+	for i, want := range []string{"ES", "CS", "SS", "DS", "FS", "GS"} {
+		if got := SegReg(i).String(); got != want {
+			t.Errorf("SegReg(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if got := SegReg(9).String(); !strings.Contains(got, "SegReg(") {
+		t.Errorf("unknown seg reg = %q", got)
+	}
+}
+
+func TestSelectorString(t *testing.T) {
+	if got := NewSelector(0, GDT, 0).String(); got != "null-selector" {
+		t.Errorf("null selector String() = %q", got)
+	}
+	got := NewSelector(7, LDT, 3).String()
+	if !strings.Contains(got, "LDT[7]") || !strings.Contains(got, "rpl3") {
+		t.Errorf("selector String() = %q", got)
+	}
+}
+
+func TestDescriptorString(t *testing.T) {
+	d, err := NewDataDescriptor(0x1000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.String()
+	for _, frag := range []string{"data", "base=0x1000", "limit=0x3f"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("descriptor String() = %q, missing %q", s, frag)
+		}
+	}
+	big, err := NewDataDescriptor(0, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(big.String(), " G ") {
+		t.Errorf("page-granular descriptor must show the G bit: %q", big.String())
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Code: FaultGP, Selector: NewSelector(3, LDT, 3), Offset: 0x40, Detail: "limit check"}
+	msg := f.Error()
+	for _, frag := range []string{"#GP", "0x40", "LDT[3]", "limit check"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("fault message %q missing %q", msg, frag)
+		}
+	}
+}
+
+func TestDescriptorSizeOverflow(t *testing.T) {
+	// A segment can never exceed the 32-bit space; the constructor's
+	// page-count guard is unreachable through uint32 sizes but the
+	// zero-size case is.
+	if _, err := NewDataDescriptor(10, 0); err == nil {
+		t.Fatal("zero size must be rejected")
+	}
+}
+
+func TestWriteThroughCodeSegmentFaults(t *testing.T) {
+	m := NewMMU()
+	code, err := NewDataDescriptor(0, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code.Kind = KindCode
+	code.Writable = false
+	if err := m.GDT().Set(5, code); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(ES, NewSelector(5, GDT, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Translate(ES, 0, 4, true); err == nil {
+		t.Fatal("write through a read-only code segment must fault")
+	}
+}

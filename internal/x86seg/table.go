@@ -1,0 +1,90 @@
+package x86seg
+
+import "fmt"
+
+// DescriptorTable is a GDT or LDT: an array of up to TableEntries segment
+// descriptors plus the table limit the GDTR/LDTR register would hold. The
+// processor refuses selectors that index beyond the table limit.
+type DescriptorTable struct {
+	name    string
+	entries [TableEntries]Descriptor
+	valid   [TableEntries]bool
+	limit   int // highest valid index; -1 for an empty table
+}
+
+// NewTable returns an empty descriptor table with the full 8192-entry
+// limit. name is used in error messages ("GDT", "LDT").
+func NewTable(name string) *DescriptorTable {
+	return &DescriptorTable{name: name, limit: TableEntries - 1}
+}
+
+// SetLimit restricts the table to indices <= limit, mirroring the 16-bit
+// limit field of GDTR/LDTR.
+func (t *DescriptorTable) SetLimit(limit int) error {
+	if limit < -1 || limit >= TableEntries {
+		return fmt.Errorf("x86seg: %s limit %d out of range", t.name, limit)
+	}
+	t.limit = limit
+	return nil
+}
+
+// Limit returns the current table limit (highest addressable index).
+func (t *DescriptorTable) Limit() int { return t.limit }
+
+// Set installs a descriptor at the given index. This models the kernel
+// writing the in-memory table; segment registers that have already cached
+// the old descriptor are NOT refreshed — software must reload them, exactly
+// as on real hardware (§3.1).
+func (t *DescriptorTable) Set(index int, d Descriptor) error {
+	if index < 0 || index >= TableEntries {
+		return fmt.Errorf("x86seg: %s index %d out of range", t.name, index)
+	}
+	t.entries[index] = d
+	t.valid[index] = true
+	return nil
+}
+
+// Clear removes the descriptor at index.
+func (t *DescriptorTable) Clear(index int) error {
+	if index < 0 || index >= TableEntries {
+		return fmt.Errorf("x86seg: %s index %d out of range", t.name, index)
+	}
+	t.entries[index] = Descriptor{}
+	t.valid[index] = false
+	return nil
+}
+
+// Lookup fetches the descriptor a selector refers to, applying the table
+// limit check the processor performs against GDTR/LDTR.
+func (t *DescriptorTable) Lookup(sel Selector) (Descriptor, error) {
+	idx := sel.Index()
+	if idx > t.limit {
+		return Descriptor{}, &Fault{
+			Code: FaultGP, Selector: sel,
+			Detail: fmt.Sprintf("selector index %d beyond %s limit %d", idx, t.name, t.limit),
+		}
+	}
+	if !t.valid[idx] {
+		return Descriptor{}, &Fault{
+			Code: FaultGP, Selector: sel,
+			Detail: fmt.Sprintf("%s entry %d not installed", t.name, idx),
+		}
+	}
+	return t.entries[idx], nil
+}
+
+// InUse reports whether index currently holds a descriptor.
+func (t *DescriptorTable) InUse(index int) bool {
+	return index >= 0 && index < TableEntries && t.valid[index]
+}
+
+// Count returns the number of installed descriptors.
+func (t *DescriptorTable) Count() int {
+	n := 0
+	for _, v := range t.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

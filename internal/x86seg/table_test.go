@@ -1,0 +1,114 @@
+package x86seg
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustDescriptor(t *testing.T, base, size uint32) Descriptor {
+	t.Helper()
+	d, err := NewDataDescriptor(base, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTableSetLookup(t *testing.T) {
+	tbl := NewTable("LDT")
+	d := mustDescriptor(t, 0x4000, 64)
+	if err := tbl.Set(5, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Lookup(NewSelector(5, LDT, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != 0x4000 || got.ByteSize() != 64 {
+		t.Fatalf("Lookup = %v, want base 0x4000 size 64", got)
+	}
+}
+
+func TestTableLookupUninstalled(t *testing.T) {
+	tbl := NewTable("LDT")
+	_, err := tbl.Lookup(NewSelector(3, LDT, 0))
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != FaultGP {
+		t.Fatalf("lookup of empty entry: want #GP, got %v", err)
+	}
+}
+
+func TestTableLimitEnforced(t *testing.T) {
+	tbl := NewTable("GDT")
+	d := mustDescriptor(t, 0, 16)
+	if err := tbl.Set(100, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetLimit(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Lookup(NewSelector(100, GDT, 0)); err == nil {
+		t.Fatal("selector beyond table limit must fault")
+	}
+	if err := tbl.SetLimit(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Lookup(NewSelector(100, GDT, 0)); err != nil {
+		t.Fatalf("selector at table limit must pass: %v", err)
+	}
+}
+
+func TestTableIndexValidation(t *testing.T) {
+	tbl := NewTable("LDT")
+	d := mustDescriptor(t, 0, 16)
+	if err := tbl.Set(-1, d); err == nil {
+		t.Error("negative index must be rejected")
+	}
+	if err := tbl.Set(TableEntries, d); err == nil {
+		t.Error("index 8192 must be rejected")
+	}
+	if err := tbl.Clear(TableEntries); err == nil {
+		t.Error("Clear beyond table must be rejected")
+	}
+	if err := tbl.SetLimit(TableEntries); err == nil {
+		t.Error("limit 8192 must be rejected")
+	}
+}
+
+func TestTableClearAndCount(t *testing.T) {
+	tbl := NewTable("LDT")
+	d := mustDescriptor(t, 0, 16)
+	for i := 1; i <= 10; i++ {
+		if err := tbl.Set(i, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tbl.Count(); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+	if err := tbl.Clear(4); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.InUse(4) {
+		t.Error("entry 4 should be free after Clear")
+	}
+	if got := tbl.Count(); got != 9 {
+		t.Fatalf("Count after Clear = %d, want 9", got)
+	}
+	if _, err := tbl.Lookup(NewSelector(4, LDT, 0)); err == nil {
+		t.Error("lookup of cleared entry must fault")
+	}
+}
+
+func TestTableFull8192Entries(t *testing.T) {
+	tbl := NewTable("LDT")
+	d := mustDescriptor(t, 0, 16)
+	for i := 0; i < TableEntries; i++ {
+		if err := tbl.Set(i, d); err != nil {
+			t.Fatalf("Set(%d): %v", i, err)
+		}
+	}
+	if got := tbl.Count(); got != TableEntries {
+		t.Fatalf("Count = %d, want %d", got, TableEntries)
+	}
+}
