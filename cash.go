@@ -186,8 +186,24 @@ func TableIDs() []string {
 }
 
 // AllTables regenerates every table with the given request count for the
-// network experiment.
+// network experiment. Tables are produced one at a time, but the
+// independent experiments inside each (its rows) run concurrently up to
+// the SetParallelism budget; results are identical at any setting.
 func AllTables(requests int) ([]*ResultTable, error) { return bench.AllTables(requests) }
+
+// TableTiming is the host-side cost of producing one table: wall-clock
+// nanoseconds plus the simulated instructions and cycles run on its
+// behalf.
+type TableTiming = bench.Timing
+
+// AllTablesTimed is AllTables plus per-table host timings.
+func AllTablesTimed(requests int) ([]*ResultTable, []TableTiming, error) {
+	return bench.AllTablesTimed(requests)
+}
+
+// SetParallelism bounds how many experiments the benchmark harness runs
+// concurrently (default: GOMAXPROCS). 1 forces sequential execution.
+func SetParallelism(n int) { bench.SetParallelism(n) }
 
 // Figure1Trace renders the Figure 1 address-translation pipeline
 // (segmentation then paging) for a small traced program.

@@ -7,15 +7,30 @@
 //	cashbench -table table1            one table (see -list)
 //	cashbench -figure1                 the translation-pipeline trace
 //	cashbench -list                    list table ids
+//
+// Host-side knobs (none of them change any table's content):
+//
+//	-parallel N      concurrent experiments per table (default GOMAXPROCS)
+//	-json FILE       with -all, write per-table timings as JSON
+//	-cpuprofile FILE write a pprof CPU profile
+//	-memprofile FILE write a pprof heap profile at exit
+//
+// Tables go to stdout; the throughput summary goes to stderr, so stdout
+// remains byte-comparable across runs and settings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"cash"
+	"cash/internal/vm"
 )
 
 func main() {
@@ -25,15 +40,63 @@ func main() {
 	}
 }
 
+// tableTimingJSON is one entry of the -json report.
+type tableTimingJSON struct {
+	Table           string  `json:"table"`
+	HostNS          int64   `json:"host_ns"`
+	SimInstructions uint64  `json:"sim_instructions"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	InstrPerSec     float64 `json:"sim_instr_per_sec"`
+}
+
+type timingReportJSON struct {
+	Requests    int               `json:"requests"`
+	Parallelism int               `json:"parallelism"`
+	TotalHostNS int64             `json:"total_host_ns"`
+	Tables      []tableTimingJSON `json:"tables"`
+}
+
 func run() error {
 	var (
-		all      = flag.Bool("all", false, "regenerate every table")
-		table    = flag.String("table", "", "regenerate one table by id")
-		figure1  = flag.Bool("figure1", false, "print the Figure 1 translation trace")
-		list     = flag.Bool("list", false, "list available table ids")
-		requests = flag.Int("requests", 2000, "request count for the network experiment")
+		all        = flag.Bool("all", false, "regenerate every table")
+		table      = flag.String("table", "", "regenerate one table by id")
+		figure1    = flag.Bool("figure1", false, "print the Figure 1 translation trace")
+		list       = flag.Bool("list", false, "list available table ids")
+		requests   = flag.Int("requests", 2000, "request count for the network experiment")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent experiments per table (1 = sequential)")
+		jsonPath   = flag.String("json", "", "with -all, write per-table timings to this file as JSON")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	cash.SetParallelism(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cashbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cashbench:", err)
+			}
+		}()
+	}
 
 	switch {
 	case *list:
@@ -49,15 +112,18 @@ func run() error {
 		return nil
 
 	case *table != "":
+		start := time.Now()
 		tab, err := cash.Table(*table)
 		if err != nil {
 			return err
 		}
 		fmt.Print(tab.Format())
+		reportThroughput(time.Since(start))
 		return nil
 
 	case *all:
-		tabs, err := cash.AllTables(*requests)
+		start := time.Now()
+		tabs, timings, err := cash.AllTablesTimed(*requests)
 		if err != nil {
 			return err
 		}
@@ -70,10 +136,53 @@ func run() error {
 			return err
 		}
 		fmt.Print(out)
+		elapsed := time.Since(start)
+		reportThroughput(elapsed)
+		if *jsonPath != "" {
+			if err := writeTimings(*jsonPath, *requests, *parallel, elapsed, timings); err != nil {
+				return err
+			}
+		}
 		return nil
 
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -all, -table, -figure1 or -list")
 	}
+}
+
+// reportThroughput prints the host-side summary line to stderr: the
+// simulated work done this process and the rate it was done at.
+func reportThroughput(elapsed time.Duration) {
+	instrs, cycles := vm.SimCounters()
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(instrs) / s
+	}
+	fmt.Fprintf(os.Stderr,
+		"cashbench: simulated %d instructions (%d cycles) in %.2fs host time — %.1fM instr/s\n",
+		instrs, cycles, elapsed.Seconds(), rate/1e6)
+}
+
+func writeTimings(path string, requests, parallel int, elapsed time.Duration, timings []cash.TableTiming) error {
+	rep := timingReportJSON{
+		Requests:    requests,
+		Parallelism: parallel,
+		TotalHostNS: elapsed.Nanoseconds(),
+		Tables:      make([]tableTimingJSON, 0, len(timings)),
+	}
+	for _, tm := range timings {
+		rep.Tables = append(rep.Tables, tableTimingJSON{
+			Table:           tm.ID,
+			HostNS:          tm.HostNS,
+			SimInstructions: tm.SimInstructions,
+			SimCycles:       tm.SimCycles,
+			InstrPerSec:     tm.InstrPerSec(),
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cash/internal/core"
+	"cash/internal/par"
 )
 
 // DetectorTable compares the bound-violation detectors the paper
@@ -76,34 +77,51 @@ func DetectorTable() (*Table, error) {
 			"cache/page-fault costs of the fence layout are not modelled; its true run-time cost would be higher",
 		},
 	}
-	var base uint64
-	for _, v := range detectorVariants() {
+	type variantResult struct {
+		cycles   uint64
+		heapSpan uint32
+		caught   [3]bool
+	}
+	vs := detectorVariants()
+	results := make([]variantResult, len(vs))
+	err := par.Do(len(vs), func(i int) error {
+		v := vs[i]
 		art, err := core.Build(detectorHeapKernel, v.mode, v.opts)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+			return fmt.Errorf("%s: %w", v.name, err)
 		}
 		res, err := art.Run()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.name, err)
+			return fmt.Errorf("%s: %w", v.name, err)
 		}
 		if res.Violation != nil {
-			return nil, fmt.Errorf("%s: spurious violation: %v", v.name, res.Violation)
+			return fmt.Errorf("%s: spurious violation: %v", v.name, res.Violation)
 		}
-		if v.name == "GCC (unchecked)" {
-			base = res.Cycles
-		}
-		ovh := float64(res.Cycles-base) / float64(base) * 100
-		row := []string{
-			v.name,
-			fmt.Sprintf("%d", res.Cycles),
-			pct(ovh),
-			fmt.Sprintf("%dK", res.HeapSpan/1024),
-		}
-		for _, probe := range []string{probeHeap, probeGlobal, probeStack} {
+		results[i].cycles = res.Cycles
+		results[i].heapSpan = res.HeapSpan
+		for pi, probe := range []string{probeHeap, probeGlobal, probeStack} {
 			caught, err := detects(probe, v)
 			if err != nil {
-				return nil, fmt.Errorf("%s: probe: %w", v.name, err)
+				return fmt.Errorf("%s: probe: %w", v.name, err)
 			}
+			results[i].caught[pi] = caught
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := results[0].cycles // variants[0] is the unchecked GCC baseline
+	for i, v := range vs {
+		r := results[i]
+		ovh := float64(r.cycles-base) / float64(base) * 100
+		row := []string{
+			v.name,
+			fmt.Sprintf("%d", r.cycles),
+			pct(ovh),
+			fmt.Sprintf("%dK", r.heapSpan/1024),
+		}
+		for _, caught := range r.caught {
 			if caught {
 				row = append(row, "caught")
 			} else {

@@ -3,9 +3,11 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"cash/internal/core"
 	"cash/internal/ldt"
+	"cash/internal/par"
 	"cash/internal/vm"
 	"cash/internal/workload"
 	"cash/internal/x86seg"
@@ -23,12 +25,15 @@ func AblationSegRegs() (*Table, error) {
 			"sw% = software checks / all checks executed under Cash (§4.2)",
 		},
 	}
-	for _, w := range workload.Kernels() {
+	ws := workload.Kernels()
+	t.Rows = make([][]string, len(ws))
+	err := par.Do(len(ws), func(i int) error {
+		w := ws[i]
 		row := []string{w.Paper}
 		for _, regs := range []int{2, 3, 4} {
 			cmp, err := core.Compare(w.Name, w.Source, core.Options{SegRegs: regs})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			total := cmp.Cash.Stats.HWChecks + cmp.Cash.Stats.SWChecks
 			share := 0.0
@@ -37,7 +42,11 @@ func AblationSegRegs() (*Table, error) {
 			}
 			row = append(row, pct(share), pct(cmp.CashOverheadPct()))
 		}
-		t.Rows = append(t.Rows, row)
+		t.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -89,24 +98,31 @@ func SegmentsTable() (*Table, error) {
 		Title:   "peak simultaneously live segments per application (budget: 8191)",
 		Columns: []string{"Program", "Category", "Peak Live Segments", "Total Allocations"},
 	}
-	for _, w := range workload.All() {
+	ws := workload.All()
+	t.Rows = make([][]string, len(ws))
+	err := par.Do(len(ws), func(i int) error {
+		w := ws[i]
 		art, err := core.Build(w.Source, core.ModeCash, core.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := art.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if res.Violation != nil {
-			return nil, fmt.Errorf("%s: unexpected violation: %v", w.Name, res.Violation)
+			return fmt.Errorf("%s: unexpected violation: %v", w.Name, res.Violation)
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			w.Name,
 			w.Category.String(),
 			fmt.Sprintf("%d", res.LDTStats.PeakLive),
 			fmt.Sprintf("%d", res.LDTStats.AllocRequests),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = []string{
 		"paper: <=10 segments for kernels, 163 for macro apps, 292 for network apps — far below 8191",
@@ -181,22 +197,29 @@ func BoundInstrTable() (*Table, error) {
 			"paper: bound takes 7 cycles where the 6 equivalent instructions take 6, so bound loses",
 		},
 	}
-	for _, w := range workload.Kernels() {
+	ws := workload.Kernels()
+	t.Rows = make([][]string, len(ws))
+	err := par.Do(len(ws), func(i int) error {
+		w := ws[i]
 		seq, err := core.Compare(w.Name, w.Source, core.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bnd, err := core.Compare(w.Name, w.Source, core.Options{UseBoundInstr: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			w.Paper,
 			pct(seq.BCCOverheadPct()),
 			pct(bnd.BCCOverheadPct()),
 			fmt.Sprintf("%d", seq.BCC.Cycles),
 			fmt.Sprintf("%d", bnd.BCC.Cycles),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -282,10 +305,29 @@ void main() {
 // Options returns the default experiment options.
 func Options() core.Options { return core.Options{} }
 
-// AllTables regenerates every table (not the trace) in paper order.
-func AllTables(requests int) ([]*Table, error) {
-	type maker func() (*Table, error)
-	makers := []maker{
+// Timing records the host-side cost of producing one table: wall-clock
+// time plus the simulated instructions and cycles executed on its behalf.
+// The simulated counts are exact because tables run one at a time (only
+// their rows fan out), so the process-wide counter deltas belong entirely
+// to the table being produced.
+type Timing struct {
+	ID              string
+	HostNS          int64
+	SimInstructions uint64
+	SimCycles       uint64
+}
+
+// InstrPerSec returns the simulated-instruction throughput achieved while
+// producing the table, in instructions per host second.
+func (tm Timing) InstrPerSec() float64 {
+	if tm.HostNS <= 0 {
+		return 0
+	}
+	return float64(tm.SimInstructions) / (float64(tm.HostNS) / 1e9)
+}
+
+func tableMakers(requests int) []func() (*Table, error) {
+	return []func() (*Table, error){
 		func() (*Table, error) { return Table1(4) },
 		Table2,
 		Table3,
@@ -304,13 +346,36 @@ func AllTables(requests int) ([]*Table, error) {
 		SegmentsTable,
 		Figure2Table,
 	}
-	out := make([]*Table, 0, len(makers))
+}
+
+// AllTables regenerates every table (not the trace) in paper order.
+// Within each table, independent rows run concurrently up to the
+// SetParallelism budget; the tables themselves run one after another.
+func AllTables(requests int) ([]*Table, error) {
+	tables, _, err := AllTablesTimed(requests)
+	return tables, err
+}
+
+// AllTablesTimed is AllTables plus per-table host timings.
+func AllTablesTimed(requests int) ([]*Table, []Timing, error) {
+	makers := tableMakers(requests)
+	tables := make([]*Table, 0, len(makers))
+	timings := make([]Timing, 0, len(makers))
 	for _, mk := range makers {
+		startInstr, startCycles := vm.SimCounters()
+		start := time.Now()
 		t, err := mk()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		out = append(out, t)
+		endInstr, endCycles := vm.SimCounters()
+		tables = append(tables, t)
+		timings = append(timings, Timing{
+			ID:              t.ID,
+			HostNS:          time.Since(start).Nanoseconds(),
+			SimInstructions: endInstr - startInstr,
+			SimCycles:       endCycles - startCycles,
+		})
 	}
-	return out, nil
+	return tables, timings, nil
 }

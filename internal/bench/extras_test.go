@@ -32,6 +32,9 @@ func TestBoundInstrTableShape(t *testing.T) {
 }
 
 func TestDetectorTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the unchecked probes run to the step limit; slow, run without -short")
+	}
 	tab, err := DetectorTable()
 	if err != nil {
 		t.Fatal(err)

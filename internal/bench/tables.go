@@ -5,8 +5,18 @@ import (
 
 	"cash/internal/core"
 	"cash/internal/netsim"
+	"cash/internal/par"
 	"cash/internal/workload"
 )
+
+// SetParallelism bounds how many experiments (table rows) run
+// concurrently; 1 forces fully sequential execution. Every table's
+// content is independent of the setting — rows are independent
+// deterministic simulations assembled in index order.
+func SetParallelism(n int) { par.SetParallelism(n) }
+
+// Parallelism returns the current worker budget.
+func Parallelism() int { return par.Parallelism() }
 
 // Table1 reproduces the micro-benchmark comparison: per-kernel dynamic
 // hardware/software check counts and the execution-time overheads of Cash
@@ -27,18 +37,25 @@ func Table1(segRegs int) (*Table, error) {
 			"kernel sizes scaled to simulator budgets; see DESIGN.md",
 		},
 	}
-	for _, w := range workload.Kernels() {
+	ws := workload.Kernels()
+	t.Rows = make([][]string, len(ws))
+	err := par.Do(len(ws), func(i int) error {
+		w := ws[i]
 		cmp, err := core.Compare(w.Name, w.Source, core.Options{SegRegs: segRegs})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			w.Paper,
 			checksCol(cmp.Cash.Stats.HWChecks, cmp.Cash.Stats.SWChecks),
 			kcycles(cmp.GCC.Cycles),
 			pct(cmp.CashOverheadPct()),
 			pct(cmp.BCCOverheadPct()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -86,22 +103,28 @@ func sizeTable(id, title string, ws []workload.Workload) (*Table, error) {
 			"each binary includes the per-mode libc corpus text (static linking with a recompiled library, as in the paper)",
 		},
 	}
-	for _, w := range ws {
+	t.Rows = make([][]string, len(ws))
+	err = par.Do(len(ws), func(i int) error {
+		w := ws[i]
 		sizes := make(map[core.Mode]int, 3)
 		for _, mode := range []core.Mode{core.ModeGCC, core.ModeCash, core.ModeBCC} {
 			art, err := core.Build(w.Source, mode, core.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", w.Name, err)
+				return fmt.Errorf("%s: %w", w.Name, err)
 			}
 			sizes[mode] = art.CodeSize() + libSizes[mode]
 		}
 		gcc := float64(sizes[core.ModeGCC])
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			w.Paper,
 			fmt.Sprintf("%d", sizes[core.ModeGCC]),
 			pct((float64(sizes[core.ModeCash]) - gcc) / gcc * 100),
 			pct((float64(sizes[core.ModeBCC]) - gcc) / gcc * 100),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -129,17 +152,25 @@ func Table3() (*Table, error) {
 			"paper sweeps 64..512 on real hardware; the decreasing-overhead shape is the result",
 		},
 	}
-	for _, s := range sweeps {
-		row := []string{s.paper}
-		for _, n := range s.sizes {
-			w := s.mk(n)
-			cmp, err := core.Compare(w.Name, w.Source, core.Options{SegRegs: 4})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(cmp.CashOverheadPct()))
+	// Every (series, size) cell is an independent experiment; flatten the
+	// sweep so all cells share the worker budget.
+	perRow := len(sweeps[0].sizes)
+	cells := make([]string, len(sweeps)*perRow)
+	err := par.Do(len(cells), func(i int) error {
+		s := sweeps[i/perRow]
+		w := s.mk(s.sizes[i%perRow])
+		cmp, err := core.Compare(w.Name, w.Source, core.Options{SegRegs: 4})
+		if err != nil {
+			return err
 		}
-		t.Rows = append(t.Rows, row)
+		cells[i] = pct(cmp.CashOverheadPct())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range sweeps {
+		t.Rows = append(t.Rows, append([]string{s.paper}, cells[si*perRow:(si+1)*perRow]...))
 	}
 	return t, nil
 }
@@ -164,10 +195,12 @@ func characteristicsTable(id, title string, ws []workload.Workload) (*Table, err
 			"the parenthesised and last columns are the paper's spilled-loop share: static loops and executed iterations",
 		},
 	}
-	for _, w := range ws {
+	t.Rows = make([][]string, len(ws))
+	err := par.Do(len(ws), func(i int) error {
+		w := ws[i]
 		ch, err := core.Characterize(w.Source, 3)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		fracPct := 0.0
 		if ch.ArrayUsingLoops > 0 {
@@ -176,22 +209,26 @@ func characteristicsTable(id, title string, ws []workload.Workload) (*Table, err
 		// Dynamic share of loop iterations executed in spilled loops.
 		art, err := core.Build(w.Source, core.ModeCash, core.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		res, err := art.Run()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		if res.Violation != nil {
-			return nil, fmt.Errorf("%s: unexpected violation: %v", w.Name, res.Violation)
+			return fmt.Errorf("%s: unexpected violation: %v", w.Name, res.Violation)
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			w.Paper,
 			fmt.Sprintf("%d", ch.Lines),
 			fmt.Sprintf("%d", ch.ArrayUsingLoops),
 			fmt.Sprintf("%d (%.1f%%)", ch.SpilledLoops, fracPct),
 			pct(res.Stats.SpilledIterPct()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -203,17 +240,24 @@ func Table5() (*Table, error) {
 		Title:   "macro-application overheads (GCC cycles; Cash/BCC % increase)",
 		Columns: []string{"Program", "GCC", "Cash", "BCC"},
 	}
-	for _, w := range workload.Macros() {
+	ws := workload.Macros()
+	t.Rows = make([][]string, len(ws))
+	err := par.Do(len(ws), func(i int) error {
+		w := ws[i]
 		cmp, err := core.Compare(w.Name, w.Source, core.Options{})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			w.Paper,
 			kcycles(cmp.GCC.Cycles),
 			pct(cmp.CashOverheadPct()),
 			pct(cmp.BCCOverheadPct()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -1,25 +1,82 @@
-// Package mem provides a sparse model of 32-bit physical memory.
+// Package mem provides a model of 32-bit physical memory.
 //
 // The simulated machine addresses a full 4 GiB physical space, but real
-// workloads touch only a few megabytes, so storage is allocated lazily in
-// page-sized chunks. Physical memory itself never faults: protection is
-// enforced above it, by segmentation (internal/x86seg) and paging
-// (internal/paging).
+// workloads touch only a few megabytes in two clusters: the low
+// code/data/heap span and the stack window just below the stack top. Those
+// two regions can be backed by contiguous []byte arenas (NewDense), which
+// turns the per-byte map lookup of the sparse store into a bounds check
+// and an array index. Addresses outside the arenas spill to the original
+// lazily-allocated page map, so the full 4 GiB space keeps working.
+//
+// Physical memory itself never faults: protection is enforced above it,
+// by segmentation (internal/x86seg) and paging (internal/paging).
 package mem
+
+import "encoding/binary"
 
 // PageSize is the allocation granule of the sparse store. It matches the
 // x86 page size so the paging layer maps 1:1 onto backing chunks.
 const PageSize = 4096
 
-// Memory is a sparse byte-addressable 32-bit physical memory.
-// The zero value is ready to use. Memory is not safe for concurrent use.
+// Memory is a byte-addressable 32-bit physical memory: up to two dense
+// arenas plus a sparse page map for everything else. The zero value is a
+// purely sparse memory, ready to use. Memory is not safe for concurrent
+// use.
 type Memory struct {
+	// lo backs [0, len(lo)); lo4 and lo2 are len(lo)-3 and len(lo)-1,
+	// precomputed so the word fast paths are a single compare (they are 0
+	// when the arena is absent or too small, which safely fails the
+	// unsigned compare).
+	lo  []byte
+	lo4 uint32
+	lo2 uint32
+
+	// hi backs [hiBase, hiBase+len(hi)) — the stack window.
+	hi     []byte
+	hiBase uint32
+	hi4    uint32
+	hi2    uint32
+
 	pages map[uint32]*[PageSize]byte
 }
 
-// New returns an empty physical memory.
+// New returns an empty, purely sparse physical memory.
 func New() *Memory {
 	return &Memory{pages: make(map[uint32]*[PageSize]byte)}
+}
+
+// NewDense returns a memory whose address ranges [0, loSize) and
+// [hiBase, hiBase+hiSize) are arena-backed. Either size may be zero to
+// omit that arena. hiBase is truncated to a page boundary so the arena
+// edge never splits a naturally aligned word.
+func NewDense(loSize uint32, hiBase, hiSize uint32) *Memory {
+	m := New()
+	if loSize > 0 {
+		m.lo = make([]byte, loSize)
+		m.recompute()
+	}
+	if hiSize > 0 {
+		m.hi = make([]byte, hiSize)
+		m.hiBase = hiBase &^ (PageSize - 1)
+		m.recompute()
+	}
+	return m
+}
+
+func (m *Memory) recompute() {
+	m.lo4, m.lo2, m.hi4, m.hi2 = 0, 0, 0, 0
+	if len(m.lo) >= 4 {
+		m.lo4 = uint32(len(m.lo) - 3)
+	}
+	if len(m.lo) >= 2 {
+		m.lo2 = uint32(len(m.lo) - 1)
+	}
+	if len(m.hi) >= 4 {
+		m.hi4 = uint32(len(m.hi) - 3)
+	}
+	if len(m.hi) >= 2 {
+		m.hi2 = uint32(len(m.hi) - 1)
+	}
 }
 
 func (m *Memory) page(addr uint32, create bool) *[PageSize]byte {
@@ -43,6 +100,12 @@ func (m *Memory) page(addr uint32, create bool) *[PageSize]byte {
 
 // Read8 returns the byte at addr. Unbacked memory reads as zero.
 func (m *Memory) Read8(addr uint32) uint8 {
+	if addr < uint32(len(m.lo)) {
+		return m.lo[addr]
+	}
+	if d := addr - m.hiBase; d < uint32(len(m.hi)) {
+		return m.hi[d]
+	}
 	p := m.page(addr, false)
 	if p == nil {
 		return 0
@@ -52,46 +115,109 @@ func (m *Memory) Read8(addr uint32) uint8 {
 
 // Write8 stores one byte at addr.
 func (m *Memory) Write8(addr uint32, v uint8) {
+	if addr < uint32(len(m.lo)) {
+		m.lo[addr] = v
+		return
+	}
+	if d := addr - m.hiBase; d < uint32(len(m.hi)) {
+		m.hi[d] = v
+		return
+	}
 	m.page(addr, true)[addr%PageSize] = v
 }
 
 // Read16 returns the little-endian 16-bit value at addr.
-// The access may straddle a page boundary.
+// The access may straddle a page or arena boundary.
 func (m *Memory) Read16(addr uint32) uint16 {
+	if addr < m.lo2 {
+		return binary.LittleEndian.Uint16(m.lo[addr:])
+	}
+	if d := addr - m.hiBase; d < m.hi2 {
+		return binary.LittleEndian.Uint16(m.hi[d:])
+	}
 	return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
 }
 
 // Write16 stores v little-endian at addr.
 func (m *Memory) Write16(addr uint32, v uint16) {
+	if addr < m.lo2 {
+		binary.LittleEndian.PutUint16(m.lo[addr:], v)
+		return
+	}
+	if d := addr - m.hiBase; d < m.hi2 {
+		binary.LittleEndian.PutUint16(m.hi[d:], v)
+		return
+	}
 	m.Write8(addr, uint8(v))
 	m.Write8(addr+1, uint8(v>>8))
 }
 
 // Read32 returns the little-endian 32-bit value at addr.
 func (m *Memory) Read32(addr uint32) uint32 {
-	if addr%PageSize <= PageSize-4 {
+	if addr < m.lo4 {
+		return binary.LittleEndian.Uint32(m.lo[addr:])
+	}
+	if d := addr - m.hiBase; d < m.hi4 {
+		return binary.LittleEndian.Uint32(m.hi[d:])
+	}
+	return m.read32Slow(addr)
+}
+
+func (m *Memory) read32Slow(addr uint32) uint32 {
+	if addr%PageSize <= PageSize-4 && addr >= uint32(len(m.lo)) && addr-m.hiBase >= uint32(len(m.hi)) {
 		if p := m.page(addr, false); p != nil {
 			off := addr % PageSize
-			return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+			return binary.LittleEndian.Uint32(p[off : off+4])
 		}
-		return 0
+		// The whole aligned word is sparse and unbacked, but a byte of it
+		// could live in an arena when the access straddles an arena edge;
+		// only the all-sparse case may short-circuit to zero.
+		if !m.straddlesArena(addr, 4) {
+			return 0
+		}
 	}
-	return uint32(m.Read16(addr)) | uint32(m.Read16(addr+2))<<16
+	return uint32(m.Read8(addr)) | uint32(m.Read8(addr+1))<<8 |
+		uint32(m.Read8(addr+2))<<16 | uint32(m.Read8(addr+3))<<24
 }
 
 // Write32 stores v little-endian at addr.
 func (m *Memory) Write32(addr uint32, v uint32) {
-	if addr%PageSize <= PageSize-4 {
-		p := m.page(addr, true)
-		off := addr % PageSize
-		p[off] = uint8(v)
-		p[off+1] = uint8(v >> 8)
-		p[off+2] = uint8(v >> 16)
-		p[off+3] = uint8(v >> 24)
+	if addr < m.lo4 {
+		binary.LittleEndian.PutUint32(m.lo[addr:], v)
 		return
 	}
-	m.Write16(addr, uint16(v))
-	m.Write16(addr+2, uint16(v>>16))
+	if d := addr - m.hiBase; d < m.hi4 {
+		binary.LittleEndian.PutUint32(m.hi[d:], v)
+		return
+	}
+	m.write32Slow(addr, v)
+}
+
+func (m *Memory) write32Slow(addr uint32, v uint32) {
+	if addr%PageSize <= PageSize-4 && addr >= uint32(len(m.lo)) && addr-m.hiBase >= uint32(len(m.hi)) &&
+		!m.straddlesArena(addr, 4) {
+		p := m.page(addr, true)
+		off := addr % PageSize
+		binary.LittleEndian.PutUint32(p[off:off+4], v)
+		return
+	}
+	m.Write8(addr, uint8(v))
+	m.Write8(addr+1, uint8(v>>8))
+	m.Write8(addr+2, uint8(v>>16))
+	m.Write8(addr+3, uint8(v>>24))
+}
+
+// straddlesArena reports whether any byte of [addr, addr+n) falls inside
+// an arena while the first byte does not (the caller has already
+// established addr itself is outside both arenas).
+func (m *Memory) straddlesArena(addr, n uint32) bool {
+	for i := uint32(1); i < n; i++ {
+		a := addr + i
+		if a < uint32(len(m.lo)) || a-m.hiBase < uint32(len(m.hi)) {
+			return true
+		}
+	}
+	return false
 }
 
 // ReadBytes copies n bytes starting at addr into a new slice.
@@ -110,13 +236,22 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) {
 	}
 }
 
-// PagesAllocated reports how many backing pages have been materialised.
-// Useful for space-overhead accounting in benchmarks.
+// PagesAllocated reports how many sparse backing pages have been
+// materialised. Arena-backed ranges are excluded: they are one host
+// allocation regardless of use. Useful for space-overhead accounting in
+// benchmarks of the sparse store.
 func (m *Memory) PagesAllocated() int {
 	return len(m.pages)
 }
 
-// Reset drops all backing pages, returning the memory to all-zero.
+// Reset returns the memory to all-zero, dropping sparse pages and
+// re-zeroing any arenas.
 func (m *Memory) Reset() {
 	m.pages = make(map[uint32]*[PageSize]byte)
+	if m.lo != nil {
+		m.lo = make([]byte, len(m.lo))
+	}
+	if m.hi != nil {
+		m.hi = make([]byte, len(m.hi))
+	}
 }

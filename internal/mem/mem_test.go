@@ -109,3 +109,171 @@ func TestQuickDisjointWritesIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// denseForTest returns a small dense memory: lo arena [0, 2 pages),
+// stack window [0x10000, 0x10000+1 page).
+func denseForTest() *Memory {
+	return NewDense(2*PageSize, 0x10000, PageSize)
+}
+
+func TestDenseBasicWidths(t *testing.T) {
+	m := denseForTest()
+	m.Write8(10, 0xab)
+	m.Write16(20, 0x1234)
+	m.Write32(30, 0x89abcdef)
+	if got := m.Read8(10); got != 0xab {
+		t.Errorf("Read8 = %#x, want 0xab", got)
+	}
+	if got := m.Read16(20); got != 0x1234 {
+		t.Errorf("Read16 = %#x, want 0x1234", got)
+	}
+	if got := m.Read32(30); got != 0x89abcdef {
+		t.Errorf("Read32 = %#x, want 0x89abcdef", got)
+	}
+	// Stack window.
+	m.Write32(0x10004, 0xfeedface)
+	if got := m.Read32(0x10004); got != 0xfeedface {
+		t.Errorf("stack Read32 = %#x, want 0xfeedface", got)
+	}
+}
+
+func TestDenseArenaEdgeStraddles(t *testing.T) {
+	m := denseForTest()
+	loEnd := uint32(2 * PageSize)
+	// Each access has its first bytes in the lo arena and its last bytes
+	// in the sparse spill.
+	for _, tc := range []struct {
+		addr uint32
+		n    uint32
+	}{
+		{loEnd - 1, 2}, {loEnd - 1, 4}, {loEnd - 2, 4}, {loEnd - 3, 4},
+	} {
+		var want uint32 = 0x04030201
+		switch tc.n {
+		case 2:
+			m.Write16(tc.addr, uint16(want))
+			if got := uint32(m.Read16(tc.addr)); got != want&0xffff {
+				t.Errorf("Read16(%#x) = %#x, want %#x", tc.addr, got, want&0xffff)
+			}
+		case 4:
+			m.Write32(tc.addr, want)
+			if got := m.Read32(tc.addr); got != want {
+				t.Errorf("Read32(%#x) = %#x, want %#x", tc.addr, got, want)
+			}
+		}
+		// Byte-level agreement across the edge.
+		for i := uint32(0); i < tc.n; i++ {
+			if got := m.Read8(tc.addr + i); got != uint8(0x01+i) {
+				t.Errorf("Read8(%#x+%d) = %#x, want %#x", tc.addr, i, got, 0x01+i)
+			}
+		}
+	}
+}
+
+func TestDenseStackWindowEdges(t *testing.T) {
+	m := denseForTest()
+	// Straddle into the stack window from below (sparse -> hi arena) and
+	// out the top (hi arena -> sparse).
+	for _, addr := range []uint32{0x10000 - 2, 0x10000 - 1, 0x10000 + PageSize - 2, 0x10000 + PageSize - 1} {
+		m.Write32(addr, 0xa1b2c3d4)
+		if got := m.Read32(addr); got != 0xa1b2c3d4 {
+			t.Fatalf("Read32(%#x) = %#x, want 0xa1b2c3d4", addr, got)
+		}
+	}
+}
+
+func TestDenseUnbackedReadsZero(t *testing.T) {
+	m := denseForTest()
+	for _, addr := range []uint32{0, 2*PageSize - 1, 2 * PageSize, 0xfff0, 0x10000, 0x20000, 0xfffffff0} {
+		if got := m.Read32(addr); got != 0 {
+			t.Fatalf("unbacked Read32(%#x) = %#x, want 0", addr, got)
+		}
+		if got := m.Read8(addr); got != 0 {
+			t.Fatalf("unbacked Read8(%#x) = %#x, want 0", addr, got)
+		}
+	}
+}
+
+func TestDenseReset(t *testing.T) {
+	m := denseForTest()
+	m.Write32(0x40, 42)    // lo arena
+	m.Write32(0x10040, 43) // stack window
+	m.Write32(0x20000, 44) // sparse spill
+	m.Reset()
+	for _, addr := range []uint32{0x40, 0x10040, 0x20000} {
+		if got := m.Read32(addr); got != 0 {
+			t.Fatalf("after Reset, Read32(%#x) = %d, want 0", addr, got)
+		}
+	}
+}
+
+// TestDenseSparseEquivalence drives a dense and a sparse memory with the
+// same pseudo-random access sequence and requires identical results. The
+// address distribution clusters around the arena edges so straddles and
+// spills are exercised.
+func TestDenseSparseEquivalence(t *testing.T) {
+	dense := denseForTest()
+	sparse := New()
+	// Deterministic LCG so the test is reproducible.
+	state := uint32(12345)
+	next := func() uint32 {
+		state = state*1664525 + 1013904223
+		return state
+	}
+	hotspots := []uint32{0, PageSize, 2 * PageSize, 0x10000 - 4, 0x10000, 0x10000 + PageSize - 4, 0x30000}
+	addrOf := func(r uint32) uint32 {
+		base := hotspots[r%uint32(len(hotspots))]
+		return base + (r>>8)%16 - 8 + 4 // wander +-8 around the hotspot, offset to avoid underflow at 0
+	}
+	for i := 0; i < 20000; i++ {
+		r := next()
+		addr := addrOf(r)
+		v := next()
+		switch r % 6 {
+		case 0:
+			dense.Write8(addr, uint8(v))
+			sparse.Write8(addr, uint8(v))
+		case 1:
+			dense.Write16(addr, uint16(v))
+			sparse.Write16(addr, uint16(v))
+		case 2:
+			dense.Write32(addr, v)
+			sparse.Write32(addr, v)
+		case 3:
+			if g, w := dense.Read8(addr), sparse.Read8(addr); g != w {
+				t.Fatalf("op %d: Read8(%#x) dense=%#x sparse=%#x", i, addr, g, w)
+			}
+		case 4:
+			if g, w := dense.Read16(addr), sparse.Read16(addr); g != w {
+				t.Fatalf("op %d: Read16(%#x) dense=%#x sparse=%#x", i, addr, g, w)
+			}
+		case 5:
+			if g, w := dense.Read32(addr), sparse.Read32(addr); g != w {
+				t.Fatalf("op %d: Read32(%#x) dense=%#x sparse=%#x", i, addr, g, w)
+			}
+		}
+	}
+	// Final byte-for-byte sweep over every touched region.
+	for _, base := range hotspots {
+		lo := base - 16 + 16 // clamp below to avoid uint wrap at 0
+		if base >= 16 {
+			lo = base - 16
+		}
+		for a := lo; a < base+32; a++ {
+			if g, w := dense.Read8(a), sparse.Read8(a); g != w {
+				t.Fatalf("sweep: Read8(%#x) dense=%#x sparse=%#x", a, g, w)
+			}
+		}
+	}
+}
+
+func TestQuickDenseWord32RoundTrip(t *testing.T) {
+	m := denseForTest()
+	f := func(addr, v uint32) bool {
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"cash/internal/core"
+	"cash/internal/par"
 	"cash/internal/workload"
 )
 
@@ -127,13 +128,17 @@ func pctIncrease(v, base float64) float64 {
 // MeasureAll runs every network application.
 func MeasureAll(requests int, opts core.Options) ([]*AppReport, error) {
 	apps := workload.NetworkApps()
-	out := make([]*AppReport, 0, len(apps))
-	for _, w := range apps {
-		rep, err := Measure(w, requests, opts)
+	out := make([]*AppReport, len(apps))
+	err := par.Do(len(apps), func(i int) error {
+		rep, err := Measure(apps[i], requests, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, rep)
+		out[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -45,11 +45,31 @@ type pageTable struct {
 	entries [EntriesPerTable]entry
 }
 
+// TLBEntries is the size of the direct-mapped translation look-aside
+// buffer in front of the table walk. Like a real TLB it is purely a host
+// speed optimisation: architectural behaviour (including the Walks
+// counter) is identical with the TLB disabled.
+const TLBEntries = 64
+
+// tlbEntry caches one translation: virtual page number -> physical frame
+// plus the writable bit, so write-protection faults are still detected on
+// TLB hits.
+type tlbEntry struct {
+	vpn      uint32
+	frame    uint32
+	valid    bool
+	writable bool
+}
+
 // Directory is a two-level page table. The zero value has no mappings;
 // use Map or NewIdentity to install them.
 type Directory struct {
 	tables [EntriesPerTable]*pageTable
-	walks  uint64 // table walks performed (stats)
+	walks  uint64 // architectural translations performed (stats)
+
+	tlb       [TLBEntries]tlbEntry
+	tlbHits   uint64
+	tlbMisses uint64
 }
 
 // NewIdentity returns a directory that identity-maps the first n bytes of
@@ -75,6 +95,7 @@ func (d *Directory) Map(linear, phys uint32, writable bool) {
 		d.tables[dirIdx] = t
 	}
 	t.entries[tblIdx] = entry{frame: phys >> 12, present: true, writable: writable}
+	d.invalidate(linear)
 }
 
 // Unmap removes the mapping for the page containing linear.
@@ -84,12 +105,33 @@ func (d *Directory) Unmap(linear uint32) {
 	if t := d.tables[dirIdx]; t != nil {
 		t.entries[tblIdx] = entry{}
 	}
+	d.invalidate(linear)
 }
 
-// Translate walks the two-level table and returns the physical address for
-// a linear address, or a *PageFault.
+// invalidate drops any TLB entry for the page containing linear. A vpn
+// can only live in its direct-mapped slot, so clearing that slot suffices.
+func (d *Directory) invalidate(linear uint32) {
+	d.tlb[(linear>>12)%TLBEntries] = tlbEntry{}
+}
+
+// Translate returns the physical address for a linear address, or a
+// *PageFault. Every call counts as one architectural translation (Walks);
+// the TLB only short-circuits the host-side two-level table walk.
 func (d *Directory) Translate(linear uint32, write bool) (uint32, error) {
 	d.walks++
+	vpn := linear >> 12
+	e := &d.tlb[vpn%TLBEntries]
+	if e.valid && e.vpn == vpn && (!write || e.writable) {
+		d.tlbHits++
+		return e.frame<<12 | linear&0xfff, nil
+	}
+	d.tlbMisses++
+	return d.walk(linear, write)
+}
+
+// walk performs the full two-level table walk and refills the TLB on
+// success.
+func (d *Directory) walk(linear uint32, write bool) (uint32, error) {
 	dirIdx := linear >> 22
 	tblIdx := (linear >> 12) & 0x3ff
 	off := linear & 0xfff
@@ -104,11 +146,22 @@ func (d *Directory) Translate(linear uint32, write bool) (uint32, error) {
 	if write && !e.writable {
 		return 0, &PageFault{Linear: linear, Write: write, Detail: "write to read-only page"}
 	}
+	vpn := linear >> 12
+	d.tlb[vpn%TLBEntries] = tlbEntry{vpn: vpn, frame: e.frame, valid: true, writable: e.writable}
 	return e.frame<<12 | off, nil
 }
 
 // Walks returns the number of translations performed, for statistics.
+// TLB hits count: they are architectural translations the hardware would
+// have limit-checked and walked.
 func (d *Directory) Walks() uint64 { return d.walks }
+
+// TLBHits returns how many translations were served from the TLB.
+func (d *Directory) TLBHits() uint64 { return d.tlbHits }
+
+// TLBMisses returns how many translations required a full table walk
+// (including translations that faulted).
+func (d *Directory) TLBMisses() uint64 { return d.tlbMisses }
 
 // MappedPages returns how many pages currently have a present mapping.
 func (d *Directory) MappedPages() int {

@@ -79,6 +79,77 @@ func TestWalkCounter(t *testing.T) {
 	}
 }
 
+func TestTLBHitsAndMisses(t *testing.T) {
+	d := NewIdentity(16 * PageSize)
+	if _, err := d.Translate(0x1000, false); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := d.TLBHits(), d.TLBMisses(); hits != 0 || misses != 1 {
+		t.Fatalf("after first access: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := d.Translate(0x1000+uint32(i)*4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := d.TLBHits(); hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+	if walks := d.Walks(); walks != 6 {
+		t.Fatalf("Walks = %d, want 6 (TLB hits count architecturally)", walks)
+	}
+}
+
+func TestTLBInvalidatedOnMapAndUnmap(t *testing.T) {
+	var d Directory
+	d.Map(0x5000, 0x5000, true)
+	if got, _ := d.Translate(0x5004, false); got != 0x5004 {
+		t.Fatalf("Translate = %#x, want 0x5004", got)
+	}
+	// Remap the same page elsewhere: the cached translation must not be
+	// served.
+	d.Map(0x5000, 0x9000, true)
+	if got, _ := d.Translate(0x5004, false); got != 0x9004 {
+		t.Fatalf("after remap, Translate = %#x, want 0x9004", got)
+	}
+	d.Unmap(0x5000)
+	if _, err := d.Translate(0x5004, false); err == nil {
+		t.Fatal("unmapped page must fault even after a TLB hit")
+	}
+}
+
+func TestTLBConflictEviction(t *testing.T) {
+	// Two pages whose vpns collide in the direct-mapped TLB.
+	a := uint32(0)
+	b := uint32(TLBEntries * PageSize)
+	var d Directory
+	d.Map(a, 0x10000, true)
+	d.Map(b, 0x20000, true)
+	for i := 0; i < 3; i++ {
+		if got, _ := d.Translate(a, false); got != 0x10000 {
+			t.Fatalf("a -> %#x, want 0x10000", got)
+		}
+		if got, _ := d.Translate(b, false); got != 0x20000 {
+			t.Fatalf("b -> %#x, want 0x20000", got)
+		}
+	}
+	if hits := d.TLBHits(); hits != 0 {
+		t.Fatalf("conflicting vpns must evict each other, hits = %d", hits)
+	}
+}
+
+func TestTLBWriteProtectionOnHit(t *testing.T) {
+	var d Directory
+	d.Map(0, 0, false)
+	if _, err := d.Translate(0x10, false); err != nil {
+		t.Fatal(err)
+	}
+	// The read filled the TLB; a write must still fault.
+	if _, err := d.Translate(0x10, true); err == nil {
+		t.Fatal("write to read-only page must fault after a read cached it")
+	}
+}
+
 // TestQuickPageOffsetPreserved: translation never alters the low 12 bits.
 func TestQuickPageOffsetPreserved(t *testing.T) {
 	f := func(linPage uint32, off uint16, physPage uint32) bool {

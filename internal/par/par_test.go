@@ -1,0 +1,78 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	for _, budget := range []int{1, 2, 16} {
+		SetParallelism(budget)
+		const n = 100
+		var counts [n]atomic.Int32
+		if err := Do(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("budget %d: f(%d) ran %d times", budget, i, got)
+			}
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	SetParallelism(8)
+	for trial := 0; trial < 10; trial++ {
+		err := Do(20, func(i int) error {
+			if i == 3 || i == 17 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Fatalf("want fail-3 (lowest failing index), got %v", err)
+		}
+	}
+}
+
+func TestDoSequentialStopsAtFirstError(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	SetParallelism(1)
+	ran := 0
+	sentinel := errors.New("stop")
+	err := Do(10, func(i int) error {
+		ran++
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel error, got %v", err)
+	}
+	if ran != 3 {
+		t.Fatalf("sequential mode must stop at first error; ran %d calls", ran)
+	}
+}
+
+func TestSetParallelismClampsToOne(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	SetParallelism(-5)
+	if got := Parallelism(); got != 1 {
+		t.Fatalf("Parallelism() = %d, want 1", got)
+	}
+}
+
+func TestDoZeroItems(t *testing.T) {
+	if err := Do(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package vm
+
+import "sync/atomic"
+
+// Process-wide totals of simulated work, accumulated by every Machine.Run
+// (including runs that fault). They exist for host-side throughput
+// reporting — simulated instructions per host second — and have no effect
+// on any per-run Result. Updated once per Run with the run's delta, so
+// the atomics cost nothing on the per-instruction path.
+var (
+	simInstructions atomic.Uint64
+	simCycles       atomic.Uint64
+)
+
+func countSim(instructions, cycles uint64) {
+	if instructions != 0 {
+		simInstructions.Add(instructions)
+	}
+	if cycles != 0 {
+		simCycles.Add(cycles)
+	}
+}
+
+// SimCounters returns the process-wide totals of simulated instructions
+// and cycles executed by all machines so far. Safe to call concurrently
+// with running machines; a machine's contribution appears when its Run
+// returns.
+func SimCounters() (instructions, cycles uint64) {
+	return simInstructions.Load(), simCycles.Load()
+}

@@ -13,6 +13,7 @@ package vm
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cash/internal/x86seg"
 )
@@ -287,6 +288,14 @@ type Program struct {
 	StackTop uint32            // initial ESP
 	Mode     string            // producing compiler mode, for listings
 	Stats    map[string]uint64 // static code-gen statistics
+
+	// pre caches the predecoded execution form (see predecode.go), built
+	// lazily on first Run and shared by every Machine executing this
+	// program. Programs must not be copied by value once running.
+	pre struct {
+		once sync.Once
+		c    *compiled
+	}
 }
 
 // Disassemble renders the program as an AT&T-style listing.

@@ -172,6 +172,7 @@ type Machine struct {
 	stepLimit uint64
 	noGate    bool
 	efence    bool
+	plain     bool            // no paging, no trace: memory fast path applies
 	guards    map[uint32]bool // Electric Fence guard pages
 	halted    bool
 	exitCode  int32
@@ -192,7 +193,7 @@ func New(prog *Program, mode Mode, opts ...Option) (*Machine, error) {
 	m := &Machine{
 		prog:      prog,
 		mode:      mode,
-		memory:    mem.New(),
+		memory:    denseMemoryFor(prog),
 		mmu:       x86seg.NewMMU(),
 		stepLimit: DefaultStepLimit,
 		heap:      prog.HeapBase,
@@ -200,6 +201,7 @@ func New(prog *Program, mode Mode, opts ...Option) (*Machine, error) {
 	for _, o := range opts {
 		o(m)
 	}
+	m.plain = m.pages == nil && m.trace == nil
 	m.ldtMgr = ldt.NewManager(m.mmu.LDT())
 
 	flatCode, err := x86seg.NewDataDescriptor(0, 0xffffffff)
@@ -244,6 +246,29 @@ func New(prog *Program, mode Mode, opts ...Option) (*Machine, error) {
 		}
 	}
 	return m, nil
+}
+
+// Arena sizing for denseMemoryFor. The low arena covers the code/data
+// image and the heap's common growth; the high arena covers the stack
+// window below the initial ESP. Addresses outside either arena spill to
+// the sparse page map, so these are pure speed knobs, not limits.
+const (
+	loArenaSize    = 16 << 20
+	stackArenaSize = 2 << 20
+)
+
+// denseMemoryFor builds the physical memory for a program: arena-backed
+// over the spans the program will actually touch, sparse everywhere else.
+func denseMemoryFor(prog *Program) *mem.Memory {
+	loSize := uint32(loArenaSize)
+	if end := prog.HeapBase + (1 << 20); end > loSize && prog.HeapBase < (64<<20) {
+		loSize = end
+	}
+	hiBase, hiSize := uint32(0), uint32(0)
+	if prog.StackTop >= stackArenaSize && prog.StackTop-stackArenaSize >= loSize {
+		hiBase, hiSize = prog.StackTop-stackArenaSize, stackArenaSize
+	}
+	return mem.NewDense(loSize, hiBase, hiSize)
 }
 
 // LDTManager exposes the machine's segment allocation manager.
@@ -294,14 +319,34 @@ func (m *Machine) fault(kind FaultKind, cause error) *Fault {
 // or the step limit. On a detected bound violation the returned error is a
 // *Fault with IsBoundViolation() == true.
 func (m *Machine) Run() (*Result, error) {
+	c := m.prog.compiledProgram()
+	n := len(c.exec)
+	startInstrs, startCycles := m.stats.Instructions, m.cycles
+	defer func() {
+		countSim(m.stats.Instructions-startInstrs, m.cycles-startCycles)
+	}()
 	for !m.halted {
 		if m.stats.Instructions >= m.stepLimit {
 			return m.result(), m.fault(FaultStepLimit, nil)
 		}
-		if m.ip < 0 || m.ip >= len(m.prog.Instrs) {
-			return m.result(), m.fault(FaultInvalid, fmt.Errorf("ip %d outside program", m.ip))
+		ip := m.ip
+		if uint(ip) >= uint(n) {
+			return m.result(), m.fault(FaultInvalid, fmt.Errorf("ip %d outside program", ip))
 		}
-		if err := m.step(); err != nil {
+		m.stats.Instructions++
+		m.cycles += uint64(c.cost[ip])
+		if nt := c.note[ip]; nt != NoteNone {
+			switch nt {
+			case NoteSWCheck:
+				m.stats.SWChecks++
+			case NoteLoopBackedge:
+				m.stats.LoopIters++
+			case NoteSpilledBackedge:
+				m.stats.LoopIters++
+				m.stats.SpilledIters++
+			}
+		}
+		if err := c.exec[ip](m); err != nil {
 			return m.result(), err
 		}
 	}
@@ -318,112 +363,8 @@ func (m *Machine) result() *Result {
 	}
 }
 
-// effAddr computes the effective (segment-relative) address of a memory
-// operand.
-func (m *Machine) effAddr(ref MemRef) uint32 {
-	ea := uint32(ref.Disp)
-	if ref.HasBase {
-		ea += m.regs[ref.Base]
-	}
-	if ref.HasIndex {
-		scale := uint32(ref.Scale)
-		if scale == 0 {
-			scale = 1
-		}
-		ea += m.regs[ref.Index] * scale
-	}
-	return ea
-}
-
-// translate maps a segment-relative access to a physical address, applying
-// the segment limit check and (if enabled) the page walk. Accesses through
-// a segment register holding an LDT selector are counted as hardware bound
-// checks — those are exactly Cash's per-array segments.
-func (m *Machine) translate(ref MemRef, size uint8, write bool) (uint32, error) {
-	ea := m.effAddr(ref)
-	// Every reference through an array segment (an LDT selector) is a
-	// hardware bound check — counted whether it passes or faults.
-	if m.mmu.Selector(ref.Seg).Table() == x86seg.LDT {
-		m.stats.HWChecks++
-	}
-	lin, err := m.mmu.Translate(ref.Seg, ea, uint32(size), write)
-	if err != nil {
-		return 0, m.fault(FaultSegmentation, err)
-	}
-	phys := lin
-	if m.pages != nil {
-		phys, err = m.pages.Translate(lin, write)
-		if err != nil {
-			return 0, m.fault(FaultPage, err)
-		}
-		m.stats.PageWalks++
-	}
-	if m.trace != nil {
-		m.trace(TraceEntry{
-			Seg: ref.Seg, Selector: m.mmu.Selector(ref.Seg),
-			Offset: ea, Linear: lin, Physical: phys, Write: write,
-		})
-	}
-	return phys, nil
-}
-
-func (m *Machine) load(ref MemRef, size uint8) (uint32, error) {
-	phys, err := m.translate(ref, size, false)
-	if err != nil {
-		return 0, err
-	}
-	switch size {
-	case 1:
-		return uint32(m.memory.Read8(phys)), nil
-	case 2:
-		return uint32(m.memory.Read16(phys)), nil
-	default:
-		return m.memory.Read32(phys), nil
-	}
-}
-
-func (m *Machine) store(ref MemRef, size uint8, v uint32) error {
-	phys, err := m.translate(ref, size, true)
-	if err != nil {
-		return err
-	}
-	switch size {
-	case 1:
-		m.memory.Write8(phys, uint8(v))
-	case 2:
-		m.memory.Write16(phys, uint16(v))
-	default:
-		m.memory.Write32(phys, v)
-	}
-	return nil
-}
-
-func (m *Machine) get(o Operand, size uint8) (uint32, error) {
-	switch o.Kind {
-	case KindReg:
-		return m.regs[o.Reg], nil
-	case KindImm:
-		return uint32(o.Imm), nil
-	case KindMem:
-		return m.load(o.Mem, size)
-	case KindSReg:
-		return uint32(m.mmu.Selector(o.SReg)), nil
-	default:
-		return 0, m.fault(FaultInvalid, fmt.Errorf("read of empty operand"))
-	}
-}
-
-func (m *Machine) set(o Operand, size uint8, v uint32) error {
-	switch o.Kind {
-	case KindReg:
-		m.regs[o.Reg] = v
-		return nil
-	case KindMem:
-		return m.store(o.Mem, size, v)
-	default:
-		return m.fault(FaultInvalid, fmt.Errorf("write to %v operand", o.Kind))
-	}
-}
+// stackRef is the predecoded DS:(%esp) operand used by push and pop.
+var stackRef = memOp{seg: x86seg.DS, base: int16(ESP), index: -1}
 
 // push/pop (and CALL/RET through them) address the stack through DS
 // rather than SS. Under the simulated Linux both are the identical flat
@@ -432,271 +373,19 @@ func (m *Machine) set(o Operand, size uint8, v uint32) error {
 // operations keep working when SS holds an array selector.
 func (m *Machine) push(v uint32) error {
 	m.regs[ESP] -= 4
-	return m.store(MemRef{Seg: x86seg.DS, Base: ESP, HasBase: true}, 4, v)
+	phys, err := m.memPhys(&stackRef, 4, true)
+	if err != nil {
+		return err
+	}
+	m.memory.Write32(phys, v)
+	return nil
 }
 
 func (m *Machine) pop() (uint32, error) {
-	v, err := m.load(MemRef{Seg: x86seg.DS, Base: ESP, HasBase: true}, 4)
+	phys, err := m.memPhys(&stackRef, 4, false)
 	if err != nil {
 		return 0, err
 	}
 	m.regs[ESP] += 4
-	return v, nil
-}
-
-func (m *Machine) condition(op Op) bool {
-	switch op {
-	case JE:
-		return m.eq
-	case JNE:
-		return !m.eq
-	case JL:
-		return m.lt
-	case JLE:
-		return m.lt || m.eq
-	case JG:
-		return !m.lt && !m.eq
-	case JGE:
-		return !m.lt
-	case JB:
-		return m.below
-	case JAE:
-		return !m.below
-	case JA:
-		return !m.below && !m.eq
-	case JBE:
-		return m.below || m.eq
-	default:
-		return false
-	}
-}
-
-func (m *Machine) step() error {
-	in := &m.prog.Instrs[m.ip]
-	m.stats.Instructions++
-	m.cycles += in.baseCost()
-	switch in.Note {
-	case NoteSWCheck:
-		m.stats.SWChecks++
-	case NoteLoopBackedge:
-		m.stats.LoopIters++
-	case NoteSpilledBackedge:
-		m.stats.LoopIters++
-		m.stats.SpilledIters++
-	}
-	size := in.Size
-	if size == 0 {
-		size = 4
-	}
-	next := m.ip + 1
-
-	switch in.Op {
-	case NOP:
-
-	case MOV:
-		v, err := m.get(in.Src, size)
-		if err != nil {
-			return err
-		}
-		if err := m.set(in.Dst, size, v); err != nil {
-			return err
-		}
-
-	case LEA:
-		if in.Src.Kind != KindMem {
-			return m.fault(FaultInvalid, fmt.Errorf("lea needs memory source"))
-		}
-		if err := m.set(in.Dst, 4, m.effAddr(in.Src.Mem)); err != nil {
-			return err
-		}
-
-	case ADD, SUB, IMUL, IDIV, IMOD, AND, OR, XOR, SHL, SHR, SAR:
-		a, err := m.get(in.Dst, size)
-		if err != nil {
-			return err
-		}
-		b, err := m.get(in.Src, size)
-		if err != nil {
-			return err
-		}
-		var v uint32
-		switch in.Op {
-		case ADD:
-			v = a + b
-		case SUB:
-			v = a - b
-		case IMUL:
-			v = uint32(int32(a) * int32(b))
-		case IDIV:
-			if b == 0 {
-				return m.fault(FaultDivide, nil)
-			}
-			v = uint32(int32(a) / int32(b))
-		case IMOD:
-			if b == 0 {
-				return m.fault(FaultDivide, nil)
-			}
-			v = uint32(int32(a) % int32(b))
-		case AND:
-			v = a & b
-		case OR:
-			v = a | b
-		case XOR:
-			v = a ^ b
-		case SHL:
-			v = a << (b & 31)
-		case SHR:
-			v = a >> (b & 31)
-		case SAR:
-			v = uint32(int32(a) >> (b & 31))
-		}
-		if err := m.set(in.Dst, size, v); err != nil {
-			return err
-		}
-
-	case NEG, NOT:
-		a, err := m.get(in.Dst, size)
-		if err != nil {
-			return err
-		}
-		v := -a
-		if in.Op == NOT {
-			v = ^a
-		}
-		if err := m.set(in.Dst, size, v); err != nil {
-			return err
-		}
-
-	case CMP:
-		a, err := m.get(in.Dst, size)
-		if err != nil {
-			return err
-		}
-		b, err := m.get(in.Src, size)
-		if err != nil {
-			return err
-		}
-		m.eq = a == b
-		m.lt = int32(a) < int32(b)
-		m.below = a < b
-
-	case TEST:
-		a, err := m.get(in.Dst, size)
-		if err != nil {
-			return err
-		}
-		b, err := m.get(in.Src, size)
-		if err != nil {
-			return err
-		}
-		m.eq = a&b == 0
-		m.lt = int32(a&b) < 0
-		m.below = false
-
-	case JMP:
-		next = in.Target
-
-	case JE, JNE, JL, JLE, JG, JGE, JB, JAE, JA, JBE:
-		if m.condition(in.Op) {
-			next = in.Target
-		}
-
-	case PUSH:
-		v, err := m.get(in.Src, 4)
-		if err != nil {
-			return err
-		}
-		if err := m.push(v); err != nil {
-			return err
-		}
-
-	case POP:
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		if err := m.set(in.Dst, 4, v); err != nil {
-			return err
-		}
-
-	case CALL:
-		if err := m.push(uint32(m.ip + 1)); err != nil {
-			return err
-		}
-		next = in.Target
-
-	case RET:
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		next = int(v)
-
-	case MOVSR:
-		v, err := m.get(in.Src, 2)
-		if err != nil {
-			return err
-		}
-		if err := m.mmu.Load(in.Dst.SReg, x86seg.Selector(v)); err != nil {
-			return m.fault(FaultSegmentation, err)
-		}
-		m.stats.SegRegLoads++
-
-	case MOVRS:
-		if err := m.set(in.Dst, 4, uint32(m.mmu.Selector(in.Src.SReg))); err != nil {
-			return err
-		}
-
-	case BOUND:
-		m.stats.BoundInstrs++
-		m.stats.SWChecks++
-		idx, err := m.get(in.Dst, 4)
-		if err != nil {
-			return err
-		}
-		if in.Src.Kind != KindMem {
-			return m.fault(FaultInvalid, fmt.Errorf("bound needs memory bounds"))
-		}
-		lower, err := m.load(in.Src.Mem, 4)
-		if err != nil {
-			return err
-		}
-		upperRef := in.Src.Mem
-		upperRef.Disp += 4
-		upper, err := m.load(upperRef, 4)
-		if err != nil {
-			return err
-		}
-		if idx < lower || idx >= upper {
-			return m.fault(FaultSoftwareCheck,
-				fmt.Errorf("bound: %#x outside [%#x,%#x)", idx, lower, upper))
-		}
-
-	case TRAP:
-		return m.fault(FaultSoftwareCheck, fmt.Errorf("%s", in.Sym))
-
-	case INT:
-		if err := m.syscall(); err != nil {
-			return err
-		}
-
-	case LCALL:
-		if err := m.gateCall(); err != nil {
-			return err
-		}
-
-	case HCALL:
-		if err := m.hostCall(in.Src.Imm); err != nil {
-			return err
-		}
-
-	case HLT:
-		m.halted = true
-
-	default:
-		return m.fault(FaultInvalid, fmt.Errorf("unknown opcode %v", in.Op))
-	}
-
-	m.ip = next
-	return nil
+	return m.memory.Read32(phys), nil
 }

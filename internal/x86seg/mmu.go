@@ -30,10 +30,19 @@ func (r SegReg) String() string {
 // segRegister is one segment register: the visible selector plus the hidden
 // part (descriptor cache / shadow register) loaded from the descriptor
 // table at MOV-to-segment-register time.
+//
+// flat and isLDT are host-side derivations of the visible and hidden
+// parts, precomputed at load time so the per-reference hot path does not
+// re-decode the descriptor: flat means the cached descriptor is a
+// writable 4 GiB base-0 data segment (every in-range access passes), and
+// isLDT mirrors the selector's TI bit (the references the paper counts as
+// hardware bound checks).
 type segRegister struct {
 	selector Selector
 	cache    Descriptor
 	loaded   bool // hidden part holds a valid descriptor
+	flat     bool
+	isLDT    bool
 }
 
 // MMU is the segmentation unit: the GDT, the current LDT, and the six
@@ -79,7 +88,7 @@ func (m *MMU) Load(r SegReg, sel Selector) error {
 		if r == CS || r == SS {
 			return &Fault{Code: FaultGP, Selector: sel, Detail: "null selector loaded into " + r.String()}
 		}
-		m.regs[r] = segRegister{selector: sel}
+		m.regs[r] = segRegister{selector: sel, isLDT: sel.Table() == LDT}
 		return nil
 	}
 	d, err := m.table(sel).Lookup(sel)
@@ -89,12 +98,37 @@ func (m *MMU) Load(r SegReg, sel Selector) error {
 	if !d.Present {
 		return &Fault{Code: FaultNotPresent, Selector: sel, Detail: "descriptor not present"}
 	}
-	m.regs[r] = segRegister{selector: sel, cache: d, loaded: true}
+	m.regs[r] = segRegister{
+		selector: sel,
+		cache:    d,
+		loaded:   true,
+		flat: d.Base == 0 && d.Kind == KindData && d.Writable &&
+			d.EffectiveLimit() == 0xffffffff,
+		isLDT: sel.Table() == LDT,
+	}
 	return nil
 }
 
 // Selector returns the visible part of a segment register.
 func (m *MMU) Selector(r SegReg) Selector { return m.regs[r].selector }
+
+// IsLDT reports whether the visible selector in r refers to the LDT —
+// i.e. whether references through r are array-segment (hardware bound
+// check) references. Precomputed at load time; hot-path cheap.
+func (m *MMU) IsLDT(r SegReg) bool { return m.regs[r].isLDT }
+
+// FlatLinear is the host fast path for the overwhelmingly common case of
+// a reference through a flat 4 GiB writable data segment (the simulated
+// Linux DS/SS/ES): when it applies, the limit check trivially passes and
+// the linear address is the offset itself. The boolean reports whether
+// the fast path applied; when false the caller must use Translate, which
+// performs the full architectural check. size must be >= 1.
+func (m *MMU) FlatLinear(r SegReg, offset, size uint32) (uint32, bool) {
+	if m.regs[r].flat && offset+size-1 >= offset {
+		return offset, true
+	}
+	return 0, false
+}
 
 // Cached returns the hidden descriptor of a segment register and whether it
 // holds a valid descriptor.
