@@ -36,10 +36,18 @@ import (
 	"fmt"
 
 	"cash/internal/bench"
+	"cash/internal/chaos"
 	"cash/internal/core"
 	"cash/internal/netsim"
 	"cash/internal/vm"
 	"cash/internal/workload"
+)
+
+// Default chaos-plane parameters for Table("resilience"); cmd/cashbench
+// overrides them with -chaos-seed and -chaos-rate.
+const (
+	DefaultChaosSeed uint64  = 1
+	DefaultChaosRate float64 = 0.05
 )
 
 // Mode selects one of the three compilers.
@@ -91,6 +99,13 @@ type ResultTable = bench.Table
 // AppReport is one network application's Table 8 measurement.
 type AppReport = netsim.AppReport
 
+// ResilienceReport is one network application's availability and latency
+// accounting under deterministic fault injection.
+type ResilienceReport = netsim.ResilienceReport
+
+// ModeResilience is one compiler mode's slice of a ResilienceReport.
+type ModeResilience = netsim.ModeResilience
+
 // Build parses, type-checks and compiles mini-C source for a mode.
 func Build(source string, mode Mode, opts Options) (*Artifact, error) {
 	return core.Build(source, mode, opts)
@@ -130,10 +145,30 @@ func MeasureNetworkApp(w Workload, requests int, opts Options) (*AppReport, erro
 	return netsim.Measure(w, requests, opts)
 }
 
+// MeasureResilience runs one network application's resilient server
+// under deterministic fault injection: requests picked by a PRNG seeded
+// with (seed, request index) suffer one of seven injected faults —
+// transient modify_ldt failures, LDT exhaustion, descriptor or shadow
+// free-list corruption, page-table unmap races, malformed requests,
+// runaway handlers — and the server retries, sheds, degrades to flat
+// segments (§3.4) or detects, but never crashes. Identical seed and
+// rate reproduce the report exactly.
+func MeasureResilience(w Workload, requests int, opts Options, seed uint64, rate float64) (*ResilienceReport, error) {
+	return netsim.MeasureResilience(w, requests, opts,
+		chaos.NewPlan(chaos.Config{Seed: seed, Rate: rate}))
+}
+
+// ResilienceTable renders the resilience experiment for every network
+// application (see cmd/cashbench -table resilience).
+func ResilienceTable(requests int, seed uint64, rate float64) (*ResultTable, error) {
+	return bench.ResilienceTable(requests, seed, rate)
+}
+
 // Table regenerates one of the paper's tables or analyses by id:
 //
 //	table1 table2 table3 table4 table5 table6 table7 table8 table8bcc
 //	ablation-segregs bound detectors constants ldt cache segments figure2
+//	resilience
 func Table(id string) (*ResultTable, error) {
 	switch id {
 	case "table1":
@@ -170,6 +205,8 @@ func Table(id string) (*ResultTable, error) {
 		return bench.SegmentsTable()
 	case "figure2":
 		return bench.Figure2Table()
+	case "resilience":
+		return bench.ResilienceTable(netsim.DefaultRequests, DefaultChaosSeed, DefaultChaosRate)
 	default:
 		return nil, fmt.Errorf("cash: unknown table %q (see cash.Table doc)", id)
 	}
@@ -182,6 +219,7 @@ func TableIDs() []string {
 		"table7", "table8", "table8bcc",
 		"ablation-segregs", "bound", "detectors",
 		"constants", "ldt", "cache", "segments", "figure2",
+		"resilience",
 	}
 }
 

@@ -74,8 +74,8 @@ func TestPublicTableDispatch(t *testing.T) {
 	if _, err := Table("table99"); err == nil {
 		t.Fatal("unknown table id must error")
 	}
-	if len(TableIDs()) != 17 {
-		t.Fatalf("TableIDs = %d entries, want 17", len(TableIDs()))
+	if len(TableIDs()) != 18 {
+		t.Fatalf("TableIDs = %d entries, want 18", len(TableIDs()))
 	}
 	for _, id := range TableIDs() {
 		if id == "table1" || id == "table8" {

@@ -8,6 +8,12 @@
 //	cashbench -figure1                 the translation-pipeline trace
 //	cashbench -list                    list table ids
 //
+// The resilience experiment (fault injection against the network
+// servers) takes two extra knobs; the same seed and rate always
+// reproduce the same table:
+//
+//	cashbench -table resilience -chaos-seed 1 -chaos-rate 0.05
+//
 // Host-side knobs (none of them change any table's content):
 //
 //	-parallel N      concurrent experiments per table (default GOMAXPROCS)
@@ -64,6 +70,8 @@ func run() error {
 		list       = flag.Bool("list", false, "list available table ids")
 		requests   = flag.Int("requests", 2000, "request count for the network experiment")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent experiments per table (1 = sequential)")
+		chaosSeed  = flag.Uint64("chaos-seed", cash.DefaultChaosSeed, "fault-injection PRNG seed for -table resilience")
+		chaosRate  = flag.Float64("chaos-rate", cash.DefaultChaosRate, "fault-injection probability per request for -table resilience")
 		jsonPath   = flag.String("json", "", "with -all, write per-table timings to this file as JSON")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -113,7 +121,15 @@ func run() error {
 
 	case *table != "":
 		start := time.Now()
-		tab, err := cash.Table(*table)
+		var (
+			tab *cash.ResultTable
+			err error
+		)
+		if *table == "resilience" {
+			tab, err = cash.ResilienceTable(*requests, *chaosSeed, *chaosRate)
+		} else {
+			tab, err = cash.Table(*table)
+		}
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -61,7 +62,14 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
-func pct(v float64) string    { return fmt.Sprintf("%.1f%%", v) }
+// pct formats a percentage; the NaN sentinel (a ratio with no baseline,
+// see netsim.pctIncrease) renders as "n/a" rather than "NaN%".
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", v)
+}
 func kcycles(v uint64) string { return fmt.Sprintf("%dK", v/1000) }
 func checksCol(hw, sw uint64) string {
 	return fmt.Sprintf("%d/%d", hw, sw)

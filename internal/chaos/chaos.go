@@ -1,0 +1,216 @@
+// Package chaos is the deterministic fault-injection plane of the
+// resilience harness. It decides — ahead of execution and independently
+// of goroutine scheduling — which requests of a simulated serving run are
+// faulted and how.
+//
+// Every decision is a pure function of (seed, scope, request index,
+// attempt, draw number): two runs with the same seed produce exactly the
+// same fault sequence, no matter how the work is parallelised, so chaos
+// experiments are replayable byte-for-byte. The package deliberately has
+// no dependencies on the machine; it only *chooses* faults. The VM
+// (internal/vm) provides the mechanisms and the server harness
+// (internal/netsim) maps a chosen Site onto them.
+package chaos
+
+import "fmt"
+
+// Site identifies one injection point of the simulated system. The sites
+// mirror the failure modes the paper's design discusses: modify_ldt
+// churn (§3.6), LDT exhaustion and the flat-segment fallback (§3.4),
+// user-space shadow-structure corruption (§3.8), and the #GP path by
+// which bound violations surface.
+type Site int
+
+// Injection sites.
+const (
+	// SiteNone means the request runs clean.
+	SiteNone Site = iota
+	// SiteTransientLDT makes the first segment-allocation kernel entry
+	// fail transiently (EAGAIN-style); the request is retryable.
+	SiteTransientLDT
+	// SiteExhaustLDT reserves every LDT entry before the handler starts,
+	// forcing all allocations onto the flat-segment fallback (§3.4).
+	SiteExhaustLDT
+	// SiteCorruptDescriptor corrupts the first installed array descriptor
+	// behind the allocator's back (limit shrunk to one byte).
+	SiteCorruptDescriptor
+	// SiteCorruptShadow corrupts the user-space free_ldt_entry list (the
+	// §3.8 shadow structures) by inserting a duplicate of a live entry.
+	SiteCorruptShadow
+	// SiteUnmapPage unmaps the page holding the request buffer, modelling
+	// a page-table unmap race; the handler's first read of it faults.
+	SiteUnmapPage
+	// SiteMalformedRequest scribbles over the embedded request bytes, so
+	// the handler sees adversarial input.
+	SiteMalformedRequest
+	// SiteRunawayHandler models a handler stuck in a loop: the request
+	// runs with a step budget below its known cost, so the watchdog
+	// (vm.WithStepLimit) terminates it.
+	SiteRunawayHandler
+
+	numSites
+)
+
+func (s Site) String() string {
+	switch s {
+	case SiteNone:
+		return "none"
+	case SiteTransientLDT:
+		return "transient-ldt"
+	case SiteExhaustLDT:
+		return "exhaust-ldt"
+	case SiteCorruptDescriptor:
+		return "corrupt-descriptor"
+	case SiteCorruptShadow:
+		return "corrupt-shadow"
+	case SiteUnmapPage:
+		return "unmap-page"
+	case SiteMalformedRequest:
+		return "malformed-request"
+	case SiteRunawayHandler:
+		return "runaway-handler"
+	default:
+		return fmt.Sprintf("Site(%d)", int(s))
+	}
+}
+
+// AllSites lists every real injection site.
+func AllSites() []Site {
+	return []Site{
+		SiteTransientLDT, SiteExhaustLDT, SiteCorruptDescriptor,
+		SiteCorruptShadow, SiteUnmapPage, SiteMalformedRequest,
+		SiteRunawayHandler,
+	}
+}
+
+// UniversalSites lists the sites that apply to any compiler mode. The
+// LDT-related sites only make sense under Cash, which is the only mode
+// that allocates segments.
+func UniversalSites() []Site {
+	return []Site{SiteUnmapPage, SiteMalformedRequest, SiteRunawayHandler}
+}
+
+// Config parameterises a Plan.
+type Config struct {
+	// Seed keys every draw; equal seeds give identical fault schedules.
+	Seed uint64
+	// Rate is the per-request injection probability in [0, 1].
+	Rate float64
+	// Sites, when non-empty, restricts injection to the listed sites
+	// (used by targeted tests); the caller-supplied applicable set is
+	// intersected with it.
+	Sites []Site
+}
+
+// Plan is an immutable, concurrency-safe fault schedule. A nil *Plan is
+// valid and injects nothing.
+type Plan struct {
+	cfg Config
+}
+
+// NewPlan builds a plan; rates outside [0, 1] are clamped.
+func NewPlan(cfg Config) *Plan {
+	if cfg.Rate < 0 {
+		cfg.Rate = 0
+	}
+	if cfg.Rate > 1 {
+		cfg.Rate = 1
+	}
+	return &Plan{cfg: cfg}
+}
+
+// Enabled reports whether the plan can inject anything.
+func (p *Plan) Enabled() bool { return p != nil && p.cfg.Rate > 0 }
+
+// Seed returns the plan's seed (0 for a nil plan).
+func (p *Plan) Seed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.Seed
+}
+
+// Rate returns the per-request injection probability.
+func (p *Plan) Rate() float64 {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.Rate
+}
+
+// Injection is the decision for one (request, attempt): at most one site
+// plus auxiliary deterministic randomness for the site's parameters.
+type Injection struct {
+	Site Site
+	// Aux is site-specific deterministic randomness (e.g. which byte
+	// value to scribble).
+	Aux uint64
+}
+
+// Active reports whether the injection does anything.
+func (in Injection) Active() bool { return in.Site != SiteNone }
+
+// Is reports whether the injection hits the given site.
+func (in Injection) Is(s Site) bool { return in.Site == s }
+
+// Draw decides the fault for one attempt of one request. scope names the
+// experiment (e.g. "apache/cash") so distinct applications and compiler
+// modes get independent schedules; applicable lists the sites that can
+// fire in this context. Redrawing with a higher attempt yields an
+// independent decision — that is what makes retrying transient faults
+// effective.
+func (p *Plan) Draw(scope string, request, attempt int, applicable []Site) Injection {
+	if !p.Enabled() || len(applicable) == 0 {
+		return Injection{}
+	}
+	sites := applicable
+	if len(p.cfg.Sites) > 0 {
+		sites = intersect(applicable, p.cfg.Sites)
+		if len(sites) == 0 {
+			return Injection{}
+		}
+	}
+	base := mix(mix(p.cfg.Seed^fnv64a(scope), uint64(request)), uint64(attempt))
+	if unit(mix(base, 0)) >= p.cfg.Rate {
+		return Injection{}
+	}
+	return Injection{
+		Site: sites[mix(base, 1)%uint64(len(sites))],
+		Aux:  mix(base, 2),
+	}
+}
+
+func intersect(a, b []Site) []Site {
+	var out []Site
+	for _, s := range a {
+		for _, t := range b {
+			if s == t {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// fnv64a hashes a scope string (FNV-1a).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix is one splitmix64 step over state x advanced by y — the stateless
+// PRNG all draws derive from.
+func mix(x, y uint64) uint64 {
+	z := x + 0x9e3779b97f4a7c15*(y+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit maps a hash to [0, 1) with 53-bit resolution.
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }

@@ -1,0 +1,109 @@
+package chaos
+
+import "testing"
+
+func TestDrawIsDeterministic(t *testing.T) {
+	p := NewPlan(Config{Seed: 42, Rate: 0.5})
+	q := NewPlan(Config{Seed: 42, Rate: 0.5})
+	for req := 0; req < 500; req++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			a := p.Draw("apache/cash", req, attempt, AllSites())
+			b := q.Draw("apache/cash", req, attempt, AllSites())
+			if a != b {
+				t.Fatalf("req %d attempt %d: %v != %v", req, attempt, a, b)
+			}
+		}
+	}
+}
+
+func TestDrawRateZeroAndNilPlanInjectNothing(t *testing.T) {
+	for _, p := range []*Plan{nil, NewPlan(Config{Seed: 1, Rate: 0})} {
+		for req := 0; req < 200; req++ {
+			if in := p.Draw("x", req, 0, AllSites()); in.Active() {
+				t.Fatalf("plan %v injected %v at request %d", p, in, req)
+			}
+		}
+	}
+}
+
+func TestDrawRateOneAlwaysInjectsFromApplicable(t *testing.T) {
+	p := NewPlan(Config{Seed: 9, Rate: 1})
+	seen := map[Site]bool{}
+	for req := 0; req < 300; req++ {
+		in := p.Draw("bind/gcc", req, 0, UniversalSites())
+		if !in.Active() {
+			t.Fatalf("request %d not injected at rate 1", req)
+		}
+		ok := false
+		for _, s := range UniversalSites() {
+			if in.Site == s {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("site %v not in the applicable set", in.Site)
+		}
+		seen[in.Site] = true
+	}
+	if len(seen) != len(UniversalSites()) {
+		t.Fatalf("only %d of %d applicable sites ever drawn", len(seen), len(UniversalSites()))
+	}
+}
+
+func TestDrawRateIsApproximatelyHonoured(t *testing.T) {
+	p := NewPlan(Config{Seed: 3, Rate: 0.05})
+	hits := 0
+	const n = 20000
+	for req := 0; req < n; req++ {
+		if p.Draw("qpopper/cash", req, 0, AllSites()).Active() {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.03 || got > 0.07 {
+		t.Fatalf("empirical rate %.4f far from configured 0.05", got)
+	}
+}
+
+func TestDrawVariesAcrossScopeRequestAttemptSeed(t *testing.T) {
+	base := NewPlan(Config{Seed: 7, Rate: 0.5})
+	diff := func(name string, f func(req int) Injection) {
+		t.Helper()
+		same := 0
+		for req := 0; req < 400; req++ {
+			if base.Draw("a/cash", req, 0, AllSites()) == f(req) {
+				same++
+			}
+		}
+		if same == 400 {
+			t.Fatalf("%s: schedules identical — draws are not independent", name)
+		}
+	}
+	other := NewPlan(Config{Seed: 8, Rate: 0.5})
+	diff("scope", func(req int) Injection { return base.Draw("b/cash", req, 0, AllSites()) })
+	diff("attempt", func(req int) Injection { return base.Draw("a/cash", req, 1, AllSites()) })
+	diff("seed", func(req int) Injection { return other.Draw("a/cash", req, 0, AllSites()) })
+}
+
+func TestConfigSitesRestrictsDraws(t *testing.T) {
+	p := NewPlan(Config{Seed: 1, Rate: 1, Sites: []Site{SiteRunawayHandler}})
+	for req := 0; req < 100; req++ {
+		in := p.Draw("x/cash", req, 0, AllSites())
+		if in.Site != SiteRunawayHandler {
+			t.Fatalf("request %d drew %v, want runaway only", req, in.Site)
+		}
+	}
+	// A filter with no overlap against the applicable set injects nothing.
+	p = NewPlan(Config{Seed: 1, Rate: 1, Sites: []Site{SiteTransientLDT}})
+	if in := p.Draw("x/gcc", 0, 0, UniversalSites()); in.Active() {
+		t.Fatalf("disjoint site filter still injected %v", in)
+	}
+}
+
+func TestSiteStrings(t *testing.T) {
+	for s := SiteNone; s < numSites; s++ {
+		if s.String() == "" || s.String() == "Site(0)" {
+			t.Fatalf("site %d has no name", int(s))
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package ldt
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cash/internal/x86seg"
+)
+
+// driveOps interprets a byte string as an alloc/free/failure sequence
+// against a fresh audited Manager and checks the invariants after every
+// step. Each op byte selects the action; the geometry of allocations is
+// derived from the byte so that cache hits, cache misses and large
+// (page-granular) segments all occur.
+func driveOps(t interface{ Fatalf(string, ...interface{}) }, ops []byte) {
+	m := NewManager(x86seg.NewTable("LDT"))
+	m.EnableAudit()
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatalf("install gate: %v", err)
+	}
+	var live []x86seg.Selector
+	for i, op := range ops {
+		switch op % 5 {
+		case 0, 1: // allocate; a few geometries so the 3-entry cache both hits and misses
+			base := uint32(0x1000) + uint32(op%7)*0x100
+			size := uint32(16 + int(op%3)*48)
+			if op%13 == 0 {
+				size = (1 << 20) + uint32(op)*17 // page-granular path (§3.5)
+			}
+			sel, err := m.Alloc(base, size)
+			if err != nil && !errors.Is(err, ErrExhausted) {
+				t.Fatalf("op %d: alloc: %v", i, err)
+			}
+			if err == nil {
+				live = append(live, sel)
+			}
+		case 2: // free the op-selected live segment
+			if len(live) > 0 {
+				k := int(op) % len(live)
+				if err := m.Free(live[k]); err != nil {
+					t.Fatalf("op %d: free: %v", i, err)
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+		case 3: // external LDT pressure (the chaos exhaustion mechanism)
+			m.Reserve(int(op) * 64)
+		case 4: // pressure subsides
+			if op%2 == 0 {
+				m.ReleaseReserved()
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("op %d (%d): invariants violated: %v", i, op, err)
+		}
+		if m.Live() != len(live) {
+			t.Fatalf("op %d: live count %d, harness tracks %d", i, m.Live(), len(live))
+		}
+	}
+}
+
+// TestQuickAuditedConservation is the property-based half of the chaos
+// test plan: free-list conservation and the 3-entry segment cache must
+// survive arbitrary injected alloc/free/reserve/release sequences, with
+// the full invariant checker run after every step.
+func TestQuickAuditedConservation(t *testing.T) {
+	f := func(ops []byte) bool {
+		driveOps(t, ops)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConservationLongSequence pushes one long deterministic
+// sequence through every op kind, including exhaustion via Reserve.
+func TestQuickConservationLongSequence(t *testing.T) {
+	ops := make([]byte, 4096)
+	state := uint32(12345)
+	for i := range ops {
+		state = state*1664525 + 1013904223
+		ops[i] = byte(state >> 24)
+	}
+	driveOps(t, ops)
+}
+
+// TestCheckInvariantsCatchesFreeListCorruption: the §3.8 shadow-damage
+// injection must be *detected*, not survived silently.
+func TestCheckInvariantsCatchesFreeListCorruption(t *testing.T) {
+	m := NewManager(x86seg.NewTable("LDT"))
+	m.EnableAudit()
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(0x2000, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("clean state must pass: %v", err)
+	}
+	m.CorruptFreeList(99)
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("corrupted free list must fail the invariant check")
+	}
+}
+
+// TestCheckInvariantsCatchesDescriptorCorruption: rewriting a live
+// descriptor behind the manager's back must be detected.
+func TestCheckInvariantsCatchesDescriptorCorruption(t *testing.T) {
+	table := x86seg.NewTable("LDT")
+	m := NewManager(table)
+	m.EnableAudit()
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.Alloc(0x3000, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := x86seg.NewDataDescriptor(0x3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Set(sel.Index(), bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("corrupted live descriptor must fail the invariant check")
+	}
+}
+
+// TestAuditRejectsDoubleFree: audit mode refuses a double free instead of
+// unbalancing the books.
+func TestAuditRejectsDoubleFree(t *testing.T) {
+	m := NewManager(x86seg.NewTable("LDT"))
+	m.EnableAudit()
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := m.Alloc(0x4000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(sel); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(sel); err == nil {
+		t.Fatal("double free must be rejected in audit mode")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("books unbalanced after rejected double free: %v", err)
+	}
+}
+
+// TestReserveExhaustsAndReleases: Reserve models other processes filling
+// the shared LDT; allocation must fail with ErrExhausted while reserved
+// and recover after release.
+func TestReserveExhaustsAndReleases(t *testing.T) {
+	m := NewManager(x86seg.NewTable("LDT"))
+	m.EnableAudit()
+	if err := m.InstallCallGate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reserve(UsableEntries + 5); got != UsableEntries {
+		t.Fatalf("Reserve took %d entries, want %d", got, UsableEntries)
+	}
+	if _, err := m.Alloc(0x5000, 64); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("alloc under full reservation: err = %v, want ErrExhausted", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants under reservation: %v", err)
+	}
+	if got := m.ReleaseReserved(); got != UsableEntries {
+		t.Fatalf("released %d, want %d", got, UsableEntries)
+	}
+	if _, err := m.Alloc(0x5000, 64); err != nil {
+		t.Fatalf("alloc after release: %v", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after release: %v", err)
+	}
+}

@@ -87,10 +87,25 @@ type Manager struct {
 	ldt      *x86seg.DescriptorTable
 	freeList []int // user-space free_ldt_entry list (LIFO)
 	cache    []cacheEntry
+	reserved []int // entries held by other consumers (see Reserve)
 	gate     bool
 	live     int
 	cycles   uint64
 	stats    Stats
+
+	// Audit mode (EnableAudit): liveSet mirrors what the manager believes
+	// is installed in the kernel table, so CheckInvariants can detect
+	// descriptor corruption and free-list damage. Off by default — the
+	// hot allocation path pays nothing for it.
+	audit   bool
+	liveSet map[int]liveInfo
+}
+
+// liveInfo is the audit-mode record of one live descriptor.
+type liveInfo struct {
+	base  uint32
+	limit uint32
+	gran  bool
 }
 
 // cacheSlots is the size of the recently-freed-segment cache (§3.6).
@@ -163,6 +178,9 @@ func (m *Manager) Alloc(base, size uint32) (x86seg.Selector, error) {
 			if m.live > m.stats.PeakLive {
 				m.stats.PeakLive = m.live
 			}
+			if m.audit {
+				m.liveSet[ce.index] = liveInfo{base: ce.base, limit: ce.limit, gran: ce.gran}
+			}
 			return x86seg.NewSelector(ce.index, x86seg.LDT, 3), nil
 		}
 	}
@@ -184,6 +202,9 @@ func (m *Manager) Alloc(base, size uint32) (x86seg.Selector, error) {
 	if m.live > m.stats.PeakLive {
 		m.stats.PeakLive = m.live
 	}
+	if m.audit {
+		m.liveSet[idx] = liveInfo{base: d.Base, limit: d.Limit, gran: d.Granularity}
+	}
 	return x86seg.NewSelector(idx, x86seg.LDT, 3), nil
 }
 
@@ -199,6 +220,15 @@ func (m *Manager) Free(sel x86seg.Selector) error {
 	d, err := m.ldt.Lookup(sel)
 	if err != nil {
 		return fmt.Errorf("free %v: %w", sel, err)
+	}
+	if m.audit {
+		// A double free (or a free of a selector the manager never handed
+		// out) is an application bug contained to the process (§3.8);
+		// refusing it here keeps the audit books conserved.
+		if _, ok := m.liveSet[idx]; !ok {
+			return fmt.Errorf("ldt: free of non-live entry %d", idx)
+		}
+		delete(m.liveSet, idx)
 	}
 	if len(m.cache) == cacheSlots {
 		evicted := m.cache[0]
@@ -244,3 +274,154 @@ func (m *Manager) Stats() Stats { return m.stats }
 // ResetCycles zeroes the cycle accumulator (used between benchmark
 // phases); statistics are retained.
 func (m *Manager) ResetCycles() { m.cycles = 0 }
+
+// EnableAudit turns on invariant bookkeeping: the manager mirrors every
+// live descriptor so CheckInvariants can compare its view against the
+// kernel table. Audit mode exists for the chaos/resilience harness; the
+// normal benchmark path never pays for it. Enabling after allocations
+// have already happened is unsupported (the mirror would be incomplete),
+// so callers enable it right after NewManager.
+func (m *Manager) EnableAudit() {
+	if m.liveSet == nil {
+		m.liveSet = make(map[int]liveInfo)
+	}
+	m.audit = true
+}
+
+// AuditEnabled reports whether audit bookkeeping is on.
+func (m *Manager) AuditEnabled() bool { return m.audit }
+
+// Reserve takes up to n entries off the user-space free list on behalf of
+// an external consumer (the chaos plane uses it to model other processes
+// exhausting the shared LDT budget). Reserved entries stay accounted for
+// by CheckInvariants; they are returned by ReleaseReserved. Reserve
+// reports how many entries it actually took.
+func (m *Manager) Reserve(n int) int {
+	took := 0
+	for took < n && len(m.freeList) > 0 {
+		idx := m.freeList[len(m.freeList)-1]
+		m.freeList = m.freeList[:len(m.freeList)-1]
+		m.reserved = append(m.reserved, idx)
+		took++
+	}
+	return took
+}
+
+// ReleaseReserved returns every reserved entry to the free list and
+// reports how many were released.
+func (m *Manager) ReleaseReserved() int {
+	n := len(m.reserved)
+	m.freeList = append(m.freeList, m.reserved...)
+	m.reserved = nil
+	return n
+}
+
+// Reserved returns how many entries are held by Reserve.
+func (m *Manager) Reserved() int { return len(m.reserved) }
+
+// CorruptFreeList deliberately damages the user-space free_ldt_entry
+// list — the §3.8 scenario where an application overwrite hits Cash's
+// shadow structures. The damage is deterministic: a duplicate of the
+// lowest live entry is pushed (so a future allocation would hand out a
+// segment that is already in use), or, with no live entries, the
+// reserved call-gate slot itself. CheckInvariants detects either.
+func (m *Manager) CorruptFreeList(aux uint64) {
+	if m.audit && len(m.liveSet) > 0 {
+		lowest := -1
+		for idx := range m.liveSet {
+			if lowest < 0 || idx < lowest {
+				lowest = idx
+			}
+		}
+		m.freeList = append(m.freeList, lowest)
+		return
+	}
+	_ = aux
+	m.freeList = append(m.freeList, CallGateEntry)
+}
+
+// CheckInvariants validates the allocator's books against the kernel
+// descriptor table after a (possibly fault-injected) run:
+//
+//   - free-list conservation: free + cached + reserved + live entries
+//     account for exactly the 8191 usable slots, with no duplicates and
+//     no index out of range or equal to the call-gate slot;
+//   - the recently-freed cache holds at most its 3 slots, and every
+//     cached descriptor is still installed with the remembered geometry
+//     (freeing never modifies the kernel table);
+//   - in audit mode, every live descriptor in the kernel table matches
+//     the allocator's mirror (catching corruption behind its back);
+//   - the call gate, once installed, still occupies entry 0.
+//
+// A nil return means the fault left the segment machinery consistent.
+func (m *Manager) CheckInvariants() error {
+	seen := make(map[int]string, len(m.freeList)+len(m.cache)+len(m.reserved))
+	note := func(idx int, where string) error {
+		if idx <= CallGateEntry || idx >= x86seg.TableEntries {
+			return fmt.Errorf("ldt: %s holds out-of-range entry %d", where, idx)
+		}
+		if prev, dup := seen[idx]; dup {
+			return fmt.Errorf("ldt: entry %d appears in both %s and %s", idx, prev, where)
+		}
+		seen[idx] = where
+		return nil
+	}
+	for _, idx := range m.freeList {
+		if err := note(idx, "free list"); err != nil {
+			return err
+		}
+	}
+	if len(m.cache) > cacheSlots {
+		return fmt.Errorf("ldt: cache holds %d entries, max %d", len(m.cache), cacheSlots)
+	}
+	for _, ce := range m.cache {
+		if err := note(ce.index, "cache"); err != nil {
+			return err
+		}
+		d, err := m.ldt.Lookup(x86seg.NewSelector(ce.index, x86seg.LDT, 3))
+		if err != nil {
+			return fmt.Errorf("ldt: cached entry %d not installed: %w", ce.index, err)
+		}
+		if d.Base != ce.base || d.Limit != ce.limit || d.Granularity != ce.gran {
+			return fmt.Errorf("ldt: cached entry %d descriptor drifted (base %#x limit %#x vs cached %#x %#x)",
+				ce.index, d.Base, d.Limit, ce.base, ce.limit)
+		}
+	}
+	for _, idx := range m.reserved {
+		if err := note(idx, "reserved set"); err != nil {
+			return err
+		}
+	}
+	if m.live < 0 {
+		return fmt.Errorf("ldt: negative live count %d", m.live)
+	}
+	if got := len(m.freeList) + len(m.cache) + len(m.reserved) + m.live; got != UsableEntries {
+		return fmt.Errorf("ldt: conservation violated: free %d + cached %d + reserved %d + live %d = %d, want %d",
+			len(m.freeList), len(m.cache), len(m.reserved), m.live, got, UsableEntries)
+	}
+	if m.audit {
+		if len(m.liveSet) != m.live {
+			return fmt.Errorf("ldt: audit mirror tracks %d live entries, counter says %d", len(m.liveSet), m.live)
+		}
+		for idx, want := range m.liveSet {
+			if where, dup := seen[idx]; dup {
+				return fmt.Errorf("ldt: live entry %d also on %s", idx, where)
+			}
+			d, err := m.ldt.Lookup(x86seg.NewSelector(idx, x86seg.LDT, 3))
+			if err != nil {
+				return fmt.Errorf("ldt: live entry %d missing from table: %w", idx, err)
+			}
+			if d.Base != want.base || d.Limit != want.limit || d.Granularity != want.gran {
+				return fmt.Errorf("ldt: live entry %d corrupted (base %#x limit %#x, expected %#x %#x)",
+					idx, d.Base, d.Limit, want.base, want.limit)
+			}
+		}
+	}
+	if m.gate {
+		d, err := m.ldt.Lookup(x86seg.NewSelector(CallGateEntry, x86seg.LDT, 3))
+		if err != nil || d.Kind != x86seg.KindCallGate {
+			return fmt.Errorf("ldt: call-gate entry %d no longer holds the gate", CallGateEntry)
+		}
+	}
+	return nil
+}

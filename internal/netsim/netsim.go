@@ -13,7 +13,9 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"cash/internal/core"
 	"cash/internal/par"
@@ -117,19 +119,27 @@ func measureMode(w workload.Workload, mode core.Mode, requests int, opts core.Op
 	}, nil
 }
 
-// pctIncrease returns how much larger v is than base, in percent.
+// pctIncrease returns how much larger v is than base, in percent. A zero
+// baseline has no meaningful relative increase, so the result is the NaN
+// sentinel rather than a silent 0 — callers that format percentages
+// render it as "n/a" (see bench.Table), and callers that compute with it
+// can test math.IsNaN instead of mistaking "no baseline" for "no change".
 func pctIncrease(v, base float64) float64 {
 	if base == 0 {
-		return 0
+		return math.NaN()
 	}
 	return (v - base) / base * 100
 }
 
-// MeasureAll runs every network application.
+// MeasureAll runs every network application. Applications are measured
+// independently: when some fail, the returned slice still carries every
+// completed report (failed applications stay nil) alongside an error
+// joining all per-application failures, so one bad app no longer
+// discards the rows that did complete.
 func MeasureAll(requests int, opts core.Options) ([]*AppReport, error) {
 	apps := workload.NetworkApps()
 	out := make([]*AppReport, len(apps))
-	err := par.Do(len(apps), func(i int) error {
+	errs := par.DoCollect(len(apps), func(i int) error {
 		rep, err := Measure(apps[i], requests, opts)
 		if err != nil {
 			return err
@@ -137,8 +147,5 @@ func MeasureAll(requests int, opts core.Options) ([]*AppReport, error) {
 		out[i] = rep
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out, errors.Join(errs...)
 }

@@ -34,15 +34,17 @@ func Parallelism() int { return int(parallelism.Load()) }
 // all of them. It returns the error of the lowest index that failed, so
 // the reported failure does not depend on goroutine scheduling. With a
 // budget of 1 it runs inline with no goroutines at all.
+//
+// Note that an early failure does not cancel later indices under a
+// budget of 1 vs higher budgets differently: sequential execution stops
+// at the first error (later work cannot have observable results anyway,
+// since only the error is returned); use DoCollect when every index must
+// run and every error matters.
 func Do(n int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	p := Parallelism()
-	if p > n {
-		p = n
-	}
-	if p <= 1 {
+	if Parallelism() <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			if err := f(i); err != nil {
 				return err
@@ -50,7 +52,33 @@ func Do(n int, f func(i int) error) error {
 		}
 		return nil
 	}
+	for _, err := range DoCollect(n, f) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DoCollect runs f(0) … f(n-1) like Do, but always runs every index to
+// completion and returns the full per-index error slice (all nil on
+// success). Callers that need partial results alongside a joined error —
+// the resilient measurement paths — use this instead of Do.
+func DoCollect(n int, f func(i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
 	errs := make([]error, n)
+	p := Parallelism()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = f(i)
+		}
+		return errs
+	}
 	sem := make(chan struct{}, p)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -63,10 +91,5 @@ func Do(n int, f func(i int) error) error {
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errs
 }

@@ -21,6 +21,10 @@ const (
 	FaultInvalid
 	// FaultStepLimit means the step budget was exhausted.
 	FaultStepLimit
+	// FaultTransient is a transient kernel failure (an injected
+	// EAGAIN-style modify_ldt error); the operation is retryable on a
+	// fresh machine.
+	FaultTransient
 )
 
 func (k FaultKind) String() string {
@@ -37,6 +41,8 @@ func (k FaultKind) String() string {
 		return "invalid operation"
 	case FaultStepLimit:
 		return "step limit exceeded"
+	case FaultTransient:
+		return "transient kernel failure"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}

@@ -82,6 +82,10 @@ type Stats struct {
 	PageWalks    uint64
 	LoopIters    uint64 // loop back-edges executed
 	SpilledIters uint64 // back-edges of loops with more arrays than segment registers
+	// FlatFallbacks counts segment allocations that fell back to the flat
+	// data segment because the LDT was exhausted (§3.4) — the signal the
+	// resilience harness uses to classify a request as degraded.
+	FlatFallbacks uint64
 }
 
 // SpilledIterPct returns the share of executed loop iterations that
@@ -140,6 +144,61 @@ func WithoutCallGate() Option {
 	return func(m *Machine) { m.noGate = true }
 }
 
+// Fault-injection mechanism options. Each implements one chaos Site
+// (internal/chaos); the netsim resilience harness composes them. They are
+// inert unless explicitly requested, so the standard benchmark paths are
+// untouched.
+
+// WithLDTAudit enables the ldt.Manager's audit bookkeeping so the
+// post-run invariant checker can validate free-list conservation and
+// descriptor-table consistency.
+func WithLDTAudit() Option {
+	return func(m *Machine) { m.ldtAudit = true }
+}
+
+// WithLDTReserve marks n LDT entries as held by other consumers before
+// the program starts, modelling external pressure on the shared table —
+// with the full budget reserved, every allocation takes the §3.4
+// flat-segment fallback.
+func WithLDTReserve(n int) Option {
+	return func(m *Machine) { m.ldtReserve = n }
+}
+
+// WithTransientAllocFault makes the first segment-allocation kernel entry
+// fail with a transient (retryable) error, modelling modify_ldt returning
+// EAGAIN under allocation churn.
+func WithTransientAllocFault() Option {
+	return func(m *Machine) { m.chaosTransient = true }
+}
+
+// WithDescriptorCorruption rewrites the first installed array descriptor
+// behind the allocator's back, shrinking it to a one-byte segment. The
+// handler's next access through it takes a #GP, or — if the segment is
+// never touched — the post-run invariant checker flags the drift.
+func WithDescriptorCorruption() Option {
+	return func(m *Machine) { m.chaosCorruptDesc = true }
+}
+
+// WithShadowCorruption damages the user-space free_ldt_entry list after
+// the first allocation (the §3.8 shadow-structure overwrite scenario);
+// the invariant checker detects the duplicate entry.
+func WithShadowCorruption() Option {
+	return func(m *Machine) { m.chaosCorruptShadow = true }
+}
+
+// WithPoke overwrites bytes of physical memory after the data image is
+// loaded — the malformed-request injection scribbles the embedded request
+// buffer with it.
+func WithPoke(addr uint32, data []byte) Option {
+	return func(m *Machine) { m.pokeAddr, m.pokeData = addr, data }
+}
+
+// WithPageUnmap removes the page mapping covering linear before execution
+// starts, modelling a page-table unmap race. Requires WithPaging.
+func WithPageUnmap(linear uint32) Option {
+	return func(m *Machine) { m.unmapLinear, m.unmapSet = linear, true }
+}
+
 // WithElectricFence turns malloc into the Electric Fence debugger the
 // paper's related work discusses (§2): every heap object is placed so it
 // ends at a page boundary and the following page is left unmapped, so an
@@ -176,6 +235,19 @@ type Machine struct {
 	guards    map[uint32]bool // Electric Fence guard pages
 	halted    bool
 	exitCode  int32
+
+	// Fault-injection mechanisms (see the With* chaos options). At most
+	// one of the one-shot corruptions fires per run (chaosFired latches).
+	ldtAudit           bool
+	ldtReserve         int
+	chaosTransient     bool
+	chaosCorruptDesc   bool
+	chaosCorruptShadow bool
+	chaosFired         bool
+	pokeAddr           uint32
+	pokeData           []byte
+	unmapLinear        uint32
+	unmapSet           bool
 
 	output []int32
 	stats  Stats
@@ -244,6 +316,23 @@ func New(prog *Program, mode Mode, opts ...Option) (*Machine, error) {
 		for lin := (prog.StackTop - 1<<20) &^ 0xfff; lin < prog.StackTop; lin += paging.PageSize {
 			m.pages.Map(lin, lin, true)
 		}
+	}
+	// Setup-time fault injections, applied after the pristine machine
+	// state is in place so they perturb exactly what they model.
+	if m.ldtAudit {
+		m.ldtMgr.EnableAudit()
+	}
+	if m.ldtReserve > 0 {
+		m.ldtMgr.Reserve(m.ldtReserve)
+	}
+	if m.pokeData != nil {
+		m.memory.WriteBytes(m.pokeAddr, m.pokeData)
+	}
+	if m.unmapSet {
+		if m.pages == nil {
+			return nil, fmt.Errorf("vm: WithPageUnmap requires WithPaging")
+		}
+		m.pages.Unmap(m.unmapLinear &^ (paging.PageSize - 1))
 	}
 	return m, nil
 }

@@ -49,12 +49,27 @@ func (m *Machine) syscall() error {
 //	EDX = info struct address, 0 if none (alloc)
 //
 // On return EAX holds the segment selector (alloc).
+// ErrTransientLDT is the cause of an injected transient modify_ldt
+// failure (see WithTransientAllocFault); it surfaces as a Fault of kind
+// FaultTransient, which callers may retry on a fresh machine.
+var ErrTransientLDT = errors.New("modify_ldt: resource temporarily unavailable (injected)")
+
+// allocFault converts a segment-allocation error into the right fault
+// kind: injected transient failures are retryable, everything else is an
+// invalid operation.
+func (m *Machine) allocFault(err error) *Fault {
+	if errors.Is(err, ErrTransientLDT) {
+		return m.fault(FaultTransient, err)
+	}
+	return m.fault(FaultInvalid, err)
+}
+
 func (m *Machine) gateCall() error {
 	switch m.regs[EAX] {
 	case GateAllocSegment:
 		sel, err := m.allocSegment(m.regs[EBX], m.regs[ECX], m.regs[EDX])
 		if err != nil {
-			return m.fault(FaultInvalid, err)
+			return m.allocFault(err)
 		}
 		m.regs[EAX] = uint32(sel)
 		return nil
@@ -79,6 +94,10 @@ func (m *Machine) gateCall() error {
 // exhausted the flat data segment is returned with bounds [0, 4 GiB),
 // which disables checking for this object (§3.4).
 func (m *Machine) allocSegment(base, size, infoAddr uint32) (x86seg.Selector, error) {
+	if m.chaosTransient && !m.chaosFired {
+		m.chaosFired = true
+		return 0, ErrTransientLDT
+	}
 	segBase, segSize := base, size
 	if size > 0 && size-1 > x86seg.MaxByteLimit {
 		pages := (uint64(size) + x86seg.PageGranule - 1) / x86seg.PageGranule
@@ -88,9 +107,22 @@ func (m *Machine) allocSegment(base, size, infoAddr uint32) (x86seg.Selector, er
 	sel, err := m.ldtMgr.Alloc(segBase, segSize)
 	lower, upper := segBase, base+size
 	if errors.Is(err, ldt.ErrExhausted) {
+		m.stats.FlatFallbacks++
 		sel, lower, upper = FlatDataSelector, 0, 0xffffffff
 	} else if err != nil {
 		return 0, err
+	} else if !m.chaosFired && (m.chaosCorruptDesc || m.chaosCorruptShadow) {
+		m.chaosFired = true
+		if m.chaosCorruptDesc {
+			// Shrink the freshly installed descriptor to one byte behind
+			// the allocator's back: the next reference through it faults,
+			// and the audit checker sees the drift either way.
+			if bad, derr := x86seg.NewDataDescriptor(segBase, 1); derr == nil {
+				_ = m.mmu.LDT().Set(sel.Index(), bad)
+			}
+		} else {
+			m.ldtMgr.CorruptFreeList(uint64(sel))
+		}
 	}
 	if infoAddr != 0 {
 		m.memory.Write32(infoAddr, uint32(sel))
@@ -126,7 +158,7 @@ func (m *Machine) hostCall(service int32) error {
 		m.cycles += CostMalloc
 		ptr, err := m.malloc(m.regs[EAX])
 		if err != nil {
-			return m.fault(FaultInvalid, err)
+			return m.allocFault(err)
 		}
 		m.regs[EAX] = ptr
 		return nil
