@@ -39,6 +39,7 @@ import (
 	"cash/internal/chaos"
 	"cash/internal/core"
 	"cash/internal/netsim"
+	"cash/internal/obs"
 	"cash/internal/vm"
 	"cash/internal/workload"
 )
@@ -246,3 +247,37 @@ func SetParallelism(n int) { bench.SetParallelism(n) }
 // Figure1Trace renders the Figure 1 address-translation pipeline
 // (segmentation then paging) for a small traced program.
 func Figure1Trace() (string, error) { return bench.Figure1Trace() }
+
+// MetricsSnapshot is a point-in-time copy of the process-wide metrics
+// registry: named counters and gauges plus latency histograms. Snapshots
+// are plain data — subtract two with Delta to isolate one experiment's
+// contribution, render with Format (deterministic text) or JSON.
+type MetricsSnapshot = obs.Snapshot
+
+// Metrics snapshots the process-wide observability registry that the
+// simulator's layers (vm, paging, ldt, core, netsim) publish into. Take
+// a snapshot before and after an experiment and Delta them; because
+// every published metric is commutative across goroutines, the delta is
+// identical at any SetParallelism budget.
+func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// EventTrace is a bounded ring buffer of structured machine events:
+// segment-register loads, descriptor installs and evictions, faults,
+// LDT allocation traffic, and the resilient server's retry/shed/
+// degrade/re-arm decisions. A nil *EventTrace is valid everywhere and
+// disables emission; tracing is strictly opt-in.
+type EventTrace = obs.Trace
+
+// TraceEvent is one structured EventTrace record.
+type TraceEvent = obs.Event
+
+// NewEventTrace returns a trace retaining up to capacity events
+// (0 means the default capacity). Attach it to machine runs with
+// Options.EventTrace, or install it process-wide with
+// SetDefaultEventTrace for producers without an options path.
+func NewEventTrace(capacity int) *EventTrace { return obs.NewTrace(capacity) }
+
+// SetDefaultEventTrace installs (or, with nil, removes) the process-wide
+// event trace — the one the netsim resilient server emits into — and
+// returns the previous one.
+func SetDefaultEventTrace(tr *EventTrace) *EventTrace { return obs.SetDefaultTrace(tr) }

@@ -14,6 +14,16 @@
 //
 //	cashbench -table resilience -chaos-seed 1 -chaos-rate 0.05
 //
+// Observability (see internal/obs): the metrics flags report the
+// registry delta across exactly the work this process did — counters
+// from every layer (vm, paging, ldt, core, netsim) plus the shared
+// latency histogram. The delta is deterministic at any -parallel
+// setting, which CI pins by diffing -parallel 1 against -parallel 8:
+//
+//	-metrics            print the metrics delta to stderr
+//	-metrics-out FILE   write the metrics delta to FILE as text
+//	-metrics-json FILE  write the metrics delta to FILE as JSON
+//
 // Host-side knobs (none of them change any table's content):
 //
 //	-parallel N      concurrent experiments per table (default GOMAXPROCS)
@@ -62,47 +72,64 @@ type timingReportJSON struct {
 	Tables      []tableTimingJSON `json:"tables"`
 }
 
-func run() error {
+func run() (err error) {
 	var (
-		all        = flag.Bool("all", false, "regenerate every table")
-		table      = flag.String("table", "", "regenerate one table by id")
-		figure1    = flag.Bool("figure1", false, "print the Figure 1 translation trace")
-		list       = flag.Bool("list", false, "list available table ids")
-		requests   = flag.Int("requests", 2000, "request count for the network experiment")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent experiments per table (1 = sequential)")
-		chaosSeed  = flag.Uint64("chaos-seed", cash.DefaultChaosSeed, "fault-injection PRNG seed for -table resilience")
-		chaosRate  = flag.Float64("chaos-rate", cash.DefaultChaosRate, "fault-injection probability per request for -table resilience")
-		jsonPath   = flag.String("json", "", "with -all, write per-table timings to this file as JSON")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		all         = flag.Bool("all", false, "regenerate every table")
+		table       = flag.String("table", "", "regenerate one table by id")
+		figure1     = flag.Bool("figure1", false, "print the Figure 1 translation trace")
+		list        = flag.Bool("list", false, "list available table ids")
+		requests    = flag.Int("requests", 2000, "request count for the network experiment")
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent experiments per table (1 = sequential)")
+		chaosSeed   = flag.Uint64("chaos-seed", cash.DefaultChaosSeed, "fault-injection PRNG seed for -table resilience")
+		chaosRate   = flag.Float64("chaos-rate", cash.DefaultChaosRate, "fault-injection probability per request for -table resilience")
+		jsonPath    = flag.String("json", "", "with -all, write per-table timings to this file as JSON")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		metrics     = flag.Bool("metrics", false, "print the observability-registry delta to stderr")
+		metricsOut  = flag.String("metrics-out", "", "write the observability-registry delta to this file as text")
+		metricsJSON = flag.String("metrics-json", "", "write the observability-registry delta to this file as JSON")
 	)
 	flag.Parse()
 
 	cash.SetParallelism(*parallel)
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*cpuProfile)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
+		// Teardown runs on every exit path from run: stop the profiler
+		// first so its buffered samples are flushed into f, then close f
+		// and surface the close error — a short write on the profile is a
+		// failure, not a shrug.
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close cpu profile: %w", cerr)
+			}
+		}()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			return perr
 		}
-		defer pprof.StopCPUProfile()
 	}
 	if *memProfile != "" {
+		path := *memProfile
 		defer func() {
-			f, err := os.Create(*memProfile)
+			if werr := writeHeapProfile(path); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+
+	wantMetrics := *metrics || *metricsOut != "" || *metricsJSON != ""
+	var metricsBase cash.MetricsSnapshot
+	if wantMetrics {
+		metricsBase = cash.Metrics()
+		defer func() {
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "cashbench:", err)
 				return
 			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "cashbench:", err)
-			}
+			err = emitMetrics(metricsBase, *metrics, *metricsOut, *metricsJSON)
 		}()
 	}
 
@@ -165,6 +192,50 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -all, -table, -figure1 or -list")
 	}
+}
+
+// writeHeapProfile captures the final live heap into path. The GC run
+// before the snapshot collects the benchmark's garbage so the profile
+// shows what the process actually retains.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close heap profile: %w", err)
+	}
+	return nil
+}
+
+// emitMetrics renders the registry delta since base to the requested
+// sinks. The delta isolates exactly this process's work and is
+// deterministic at any -parallel setting.
+func emitMetrics(base cash.MetricsSnapshot, toStderr bool, outPath, jsonPath string) error {
+	delta := cash.Metrics().Delta(base)
+	if toStderr {
+		fmt.Fprint(os.Stderr, delta.Format())
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(delta.Format()), 0o644); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		data, err := delta.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // reportThroughput prints the host-side summary line to stderr: the

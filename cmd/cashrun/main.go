@@ -7,9 +7,19 @@
 //
 //	cashrun [-mode gcc|bcc|cash] [-segregs N] [-compare] [-trace] file.c
 //	cashrun -workload toast -compare
+//
+// With -events the run records a structured machine-event trace —
+// segment-register loads, LDT descriptor installs and evictions,
+// allocation/free traffic, faults — and prints it to stderr after the
+// program's output; -events-json FILE writes the same records as JSON.
+// Tracing is off by default and costs the simulation nothing when off.
+//
+//	cashrun -events -workload toast
+//	cashrun -events-json trace.json file.c
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,22 +27,53 @@ import (
 	"cash"
 )
 
+// errViolation signals a detected bound violation: already reported on
+// stdout, exits with status 2. A sentinel instead of os.Exit inside run
+// so deferred teardown (the -events trace dump) still happens.
+var errViolation = errors.New("array bound violation detected")
+
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, errViolation) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "cashrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		modeName = flag.String("mode", "cash", "compiler mode: gcc, bcc or cash")
 		segRegs  = flag.Int("segregs", 3, "segment register budget for cash mode")
 		compare  = flag.Bool("compare", false, "run all three modes and compare")
 		trace    = flag.Bool("trace", false, "print the Figure-1 translation pipeline demo")
 		wlName   = flag.String("workload", "", "run a built-in workload instead of a file")
+		events   = flag.Bool("events", false, "record a machine-event trace and print it to stderr")
+		eventsJS = flag.String("events-json", "", "record a machine-event trace and write it to this file as JSON")
 	)
 	flag.Parse()
+
+	var tr *cash.EventTrace
+	if *events || *eventsJS != "" {
+		tr = cash.NewEventTrace(0)
+		cash.SetDefaultEventTrace(tr)
+		defer func() {
+			cash.SetDefaultEventTrace(nil)
+			if *events {
+				fmt.Fprint(os.Stderr, tr.Format())
+			}
+			if *eventsJS != "" {
+				if data, jerr := tr.JSON(); jerr == nil {
+					if werr := os.WriteFile(*eventsJS, append(data, '\n'), 0o644); werr != nil && err == nil {
+						err = werr
+					}
+				} else if err == nil {
+					err = jerr
+				}
+			}
+		}()
+	}
 
 	if *trace {
 		out, err := cash.Figure1Trace()
@@ -47,7 +88,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts := cash.Options{SegRegs: *segRegs}
+	opts := cash.Options{SegRegs: *segRegs, EventTrace: tr}
 
 	if *compare {
 		cmp, err := cash.Compare(name, source, opts)
@@ -87,7 +128,7 @@ func run() error {
 		res.LDTStats.CacheHits, res.LDTStats.KernelCalls)
 	if res.Violation != nil {
 		fmt.Printf("# ARRAY BOUND VIOLATION DETECTED: %v\n", res.Violation)
-		os.Exit(2)
+		return errViolation
 	}
 	return nil
 }

@@ -12,9 +12,35 @@ import (
 	"cash/internal/codegen"
 	"cash/internal/ldt"
 	"cash/internal/minic"
+	"cash/internal/obs"
 	"cash/internal/vm"
 	"cash/internal/x86seg"
 )
+
+// Workflow-level metrics in the shared observability registry: how many
+// artifacts were built per mode, how many executed, and the two
+// coverage-loss signals the paper cares about (spilled loop iterations,
+// §3.7, and flat-segment fallbacks on LDT exhaustion, §3.4).
+var (
+	mBuildsGCC  = obs.Default().Counter("core.builds.gcc")
+	mBuildsBCC  = obs.Default().Counter("core.builds.bcc")
+	mBuildsCash = obs.Default().Counter("core.builds.cash")
+	mRuns       = obs.Default().Counter("core.runs")
+	mViolations = obs.Default().Counter("core.violations")
+	mSpilled    = obs.Default().Counter("core.segment_spilled_iters")
+	mFlatFalls  = obs.Default().Counter("core.flat_fallbacks")
+)
+
+func countBuild(mode Mode) {
+	switch mode {
+	case ModeGCC:
+		mBuildsGCC.Inc()
+	case ModeBCC:
+		mBuildsBCC.Inc()
+	case ModeCash:
+		mBuildsCash.Inc()
+	}
+}
 
 // Mode re-exports the compiler mode for users of the core API.
 type Mode = vm.Mode
@@ -47,6 +73,11 @@ type Options struct {
 	ElectricFence bool
 	// StepLimit bounds execution; 0 means the VM default.
 	StepLimit uint64
+	// EventTrace, when non-nil, receives structured machine events
+	// (segment-register loads, descriptor installs/evicts, faults, LDT
+	// traffic) from every machine the artifact creates. Nil — the
+	// default — keeps event emission entirely off the hot paths.
+	EventTrace *obs.Trace
 }
 
 func (o Options) segRegs() ([]x86seg.SegReg, error) {
@@ -92,6 +123,7 @@ func Build(source string, mode Mode, opts Options) (*Artifact, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
+	countBuild(mode)
 	return &Artifact{Mode: mode, Program: prog, AST: ast, opts: opts}, nil
 }
 
@@ -106,9 +138,12 @@ func (a *Artifact) Disassemble() string { return a.Program.Disassemble() }
 
 // NewMachine prepares a fresh machine for the artifact.
 func (a *Artifact) NewMachine(extra ...vm.Option) (*vm.Machine, error) {
-	opts := make([]vm.Option, 0, 3+len(extra))
+	opts := make([]vm.Option, 0, 4+len(extra))
 	if a.opts.StepLimit > 0 {
 		opts = append(opts, vm.WithStepLimit(a.opts.StepLimit))
+	}
+	if a.opts.EventTrace != nil {
+		opts = append(opts, vm.WithEventTrace(a.opts.EventTrace))
 	}
 	if a.opts.WithoutCallGate {
 		opts = append(opts, vm.WithoutCallGate())
@@ -141,10 +176,16 @@ func (a *Artifact) Run(extra ...vm.Option) (*RunResult, error) {
 	}
 	res, runErr := m.Run()
 	out := &RunResult{Result: res, HeapSpan: m.HeapSpan()}
+	mRuns.Inc()
+	if res != nil {
+		mSpilled.Add(res.Stats.SpilledIters)
+		mFlatFalls.Add(res.Stats.FlatFallbacks)
+	}
 	if runErr != nil {
 		f, ok := runErr.(*vm.Fault)
 		if ok && (f.IsBoundViolation() || m.IsGuardFault(f)) {
 			out.Violation = f
+			mViolations.Inc()
 			return out, nil
 		}
 		return out, runErr

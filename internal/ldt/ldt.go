@@ -16,7 +16,22 @@ import (
 	"errors"
 	"fmt"
 
+	"cash/internal/obs"
 	"cash/internal/x86seg"
+)
+
+// Process-wide LDT metrics in the shared observability registry.
+// Managers publish deltas via PublishMetrics (the VM calls it once per
+// run), so the Alloc/Free paths stay free of atomics. The two cycle
+// counters split the kernel-entry cost by path, making the paper's
+// 253-vs-781-cycle comparison (§3.6) directly visible in -metrics.
+var (
+	mAllocRequests   = obs.Default().Counter("ldt.alloc_requests")
+	mCacheHits       = obs.Default().Counter("ldt.cache_hits")
+	mKernelCalls     = obs.Default().Counter("ldt.kernel_calls")
+	mFrees           = obs.Default().Counter("ldt.frees")
+	mCyclesCallGate  = obs.Default().Counter("ldt.cycles.call_gate")
+	mCyclesModifyLDT = obs.Default().Counter("ldt.cycles.modify_ldt")
 )
 
 // Cycle costs, from the paper's measurements on a 1.1 GHz Pentium III
@@ -92,6 +107,18 @@ type Manager struct {
 	live     int
 	cycles   uint64
 	stats    Stats
+
+	// Kernel-entry cycles split by path, feeding the ldt.cycles.*
+	// registry counters. Both also count into the cycles total above.
+	gateCycles uint64
+	ldtCycles  uint64
+
+	// State already pushed to the shared registry (see PublishMetrics).
+	pubStats      Stats
+	pubGateCycles uint64
+	pubLDTCycles  uint64
+
+	tr *obs.Trace // nil unless event tracing is on; Emit on nil is a no-op
 
 	// Audit mode (EnableAudit): liveSet mirrors what the manager believes
 	// is installed in the kernel table, so CheckInvariants can detect
@@ -181,21 +208,27 @@ func (m *Manager) Alloc(base, size uint32) (x86seg.Selector, error) {
 			if m.audit {
 				m.liveSet[ce.index] = liveInfo{base: ce.base, limit: ce.limit, gran: ce.gran}
 			}
+			m.tr.Emit(obs.EvLDTAlloc, uint64(ce.index), uint64(ce.base), "cache-hit")
 			return x86seg.NewSelector(ce.index, x86seg.LDT, 3), nil
 		}
 	}
 	idx, ok := m.popFree()
 	if !ok {
+		m.tr.Emit(obs.EvLDTAlloc, 0, uint64(base), "exhausted")
 		return 0, ErrExhausted
 	}
 	if err := m.ldt.Set(idx, d); err != nil {
 		m.freeList = append(m.freeList, idx)
 		return 0, fmt.Errorf("install descriptor: %w", err)
 	}
+	path := "modify_ldt"
 	if m.gate {
 		m.cycles += CostCallGate
+		m.gateCycles += CostCallGate
+		path = "call-gate"
 	} else {
 		m.cycles += CostModifyLDT
+		m.ldtCycles += CostModifyLDT
 	}
 	m.stats.KernelCalls++
 	m.live++
@@ -204,6 +237,10 @@ func (m *Manager) Alloc(base, size uint32) (x86seg.Selector, error) {
 	}
 	if m.audit {
 		m.liveSet[idx] = liveInfo{base: d.Base, limit: d.Limit, gran: d.Granularity}
+	}
+	if m.tr.Enabled() {
+		m.tr.Emit(obs.EvDescInstall, uint64(idx), uint64(d.Base), path)
+		m.tr.Emit(obs.EvLDTAlloc, uint64(idx), uint64(d.Base), path)
 	}
 	return x86seg.NewSelector(idx, x86seg.LDT, 3), nil
 }
@@ -234,11 +271,13 @@ func (m *Manager) Free(sel x86seg.Selector) error {
 		evicted := m.cache[0]
 		m.cache = m.cache[1:]
 		m.freeList = append(m.freeList, evicted.index)
+		m.tr.Emit(obs.EvDescEvict, uint64(evicted.index), uint64(evicted.base), "cache overflow")
 	}
 	m.cache = append(m.cache, cacheEntry{index: idx, base: d.Base, limit: d.Limit, gran: d.Granularity})
 	m.cycles += CostFree
 	m.stats.Frees++
 	m.live--
+	m.tr.Emit(obs.EvLDTFree, uint64(idx), uint64(d.Base), "")
 	return nil
 }
 
@@ -251,6 +290,7 @@ func (m *Manager) popFree() (int, bool) {
 		}
 		evicted := m.cache[0]
 		m.cache = m.cache[1:]
+		m.tr.Emit(obs.EvDescEvict, uint64(evicted.index), uint64(evicted.base), "free-list raid")
 		return evicted.index, true
 	}
 	idx := m.freeList[len(m.freeList)-1]
@@ -272,8 +312,34 @@ func (m *Manager) Cycles() uint64 { return m.cycles }
 func (m *Manager) Stats() Stats { return m.stats }
 
 // ResetCycles zeroes the cycle accumulator (used between benchmark
-// phases); statistics are retained.
-func (m *Manager) ResetCycles() { m.cycles = 0 }
+// phases); statistics are retained. The per-path kernel-entry counters
+// feeding the registry are reset in lockstep so PublishMetrics deltas
+// stay non-negative.
+func (m *Manager) ResetCycles() {
+	m.cycles = 0
+	m.gateCycles, m.ldtCycles = 0, 0
+	m.pubGateCycles, m.pubLDTCycles = 0, 0
+}
+
+// SetTrace attaches a structured event trace; LDT allocations, frees,
+// descriptor installs and cache evictions are emitted into it. A nil
+// trace (the default) disables emission at the cost of one nil check.
+func (m *Manager) SetTrace(tr *obs.Trace) { m.tr = tr }
+
+// PublishMetrics pushes this manager's activity into the shared
+// observability registry (internal/obs). Only the delta since the last
+// publish is added, so the call is idempotent over unchanged state and
+// safe at every run boundary.
+func (m *Manager) PublishMetrics() {
+	mAllocRequests.Add(m.stats.AllocRequests - m.pubStats.AllocRequests)
+	mCacheHits.Add(m.stats.CacheHits - m.pubStats.CacheHits)
+	mKernelCalls.Add(m.stats.KernelCalls - m.pubStats.KernelCalls)
+	mFrees.Add(m.stats.Frees - m.pubStats.Frees)
+	mCyclesCallGate.Add(m.gateCycles - m.pubGateCycles)
+	mCyclesModifyLDT.Add(m.ldtCycles - m.pubLDTCycles)
+	m.pubStats = m.stats
+	m.pubGateCycles, m.pubLDTCycles = m.gateCycles, m.ldtCycles
+}
 
 // EnableAudit turns on invariant bookkeeping: the manager mirrors every
 // live descriptor so CheckInvariants can compare its view against the

@@ -3,15 +3,35 @@ package netsim
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"cash/internal/chaos"
 	"cash/internal/core"
 	"cash/internal/ldt"
 	"cash/internal/minic"
+	"cash/internal/obs"
 	"cash/internal/par"
 	"cash/internal/vm"
 	"cash/internal/workload"
+)
+
+// Resilience accounting in the shared observability registry. Each
+// mode's serving loop accumulates privately and publishes once at the
+// end (counter adds and one histogram merge), so totals are identical
+// at any par fan-out budget.
+var (
+	nmRequests  = obs.Default().Counter("netsim.requests")
+	nmInjected  = obs.Default().Counter("netsim.injected")
+	nmServed    = obs.Default().Counter("netsim.served")
+	nmOK        = obs.Default().Counter("netsim.outcome.ok")
+	nmTolerated = obs.Default().Counter("netsim.outcome.tolerated")
+	nmDegraded  = obs.Default().Counter("netsim.outcome.degraded")
+	nmShed      = obs.Default().Counter("netsim.outcome.shed")
+	nmTimedOut  = obs.Default().Counter("netsim.outcome.timed_out")
+	nmDetected  = obs.Default().Counter("netsim.outcome.detected")
+	nmRetries   = obs.Default().Counter("netsim.retries")
+	nmChecker   = obs.Default().Counter("netsim.checker_violations")
+
+	nmLatency = obs.Default().Histogram("netsim.latency.cycles", obs.DefaultCycleBounds())
 )
 
 // This file is the resilient request-serving loop: the same fork-per-
@@ -199,7 +219,8 @@ type modeServer struct {
 	window      []bool // ring of recent outcome.bad() flags
 	windowBad   int
 	mr          *ModeResilience
-	latencies   []uint64
+	lat         *obs.Histogram // served-request latencies, in cycles
+	tr          *obs.Trace     // resilience decision trace (nil when off)
 	shedArmed   bool
 	sinceDegron int // requests since entering degraded mode, for probing
 }
@@ -280,7 +301,7 @@ func (s *modeServer) record(o requestOutcome, latency uint64, injected bool) {
 	}
 	if o.served() {
 		s.mr.Served++
-		s.latencies = append(s.latencies, latency)
+		s.lat.Observe(latency)
 	}
 	// Shedding window: push the outcome's badness, evict the oldest.
 	s.window = append(s.window, o.bad())
@@ -350,7 +371,9 @@ func (s *modeServer) serveInjected(req int, inj chaos.Injection) (requestOutcome
 			switch f.Kind {
 			case vm.FaultTransient:
 				s.mr.Retries++
+				s.tr.Emit(obs.EvRetry, uint64(req), uint64(attempt), "transient modify_ldt failure")
 				if attempt+1 >= MaxAttempts {
+					s.tr.Emit(obs.EvShed, uint64(req), uint64(attempt), "retries exhausted")
 					return outcomeShed, latency
 				}
 				b := uint64(BackoffBaseCycles) << uint(attempt)
@@ -412,6 +435,7 @@ func (s *modeServer) noteExhaustion() {
 	if s.consecExh >= DegradeThreshold && !s.degraded {
 		s.degraded = true
 		s.sinceDegron = 0
+		s.tr.Emit(obs.EvDegrade, uint64(s.consecExh), 0, "enter flat-segment mode")
 	}
 }
 
@@ -420,6 +444,7 @@ func (s *modeServer) serve(i int) {
 	if s.shedArmed {
 		// Load shedding: refuse the request, give the window one
 		// neutral slot so the server can recover.
+		s.tr.Emit(obs.EvShed, uint64(i), uint64(s.windowBad), "shed window tripped")
 		s.record(outcomeShed, 0, false)
 		return
 	}
@@ -440,6 +465,7 @@ func (s *modeServer) serve(i int) {
 			// re-arms checking.
 			s.degraded = false
 			s.consecExh = 0
+			s.tr.Emit(obs.EvRearm, uint64(i), 0, "clean probe re-armed checking")
 			s.record(outcomeOK, s.clean.cycles, false)
 			return
 		}
@@ -464,13 +490,26 @@ func (s *modeServer) serve(i int) {
 	s.record(outcomeOK, s.clean.cycles, false)
 }
 
-// percentile returns the nearest-rank percentile of sorted latencies.
-func percentile(sorted []uint64, q int) uint64 {
-	if len(sorted) == 0 {
-		return 0
+// publishResilience adds one finished mode run's accounting to the
+// shared registry: counter sums plus one latency-histogram merge, all
+// commutative, so registry totals are independent of fan-out order.
+func publishResilience(mr *ModeResilience, lat *obs.Histogram) {
+	nmRequests.Add(uint64(mr.Requests))
+	nmInjected.Add(uint64(mr.Injected))
+	nmServed.Add(uint64(mr.Served))
+	nmOK.Add(uint64(mr.OK))
+	nmTolerated.Add(uint64(mr.Tolerated))
+	nmDegraded.Add(uint64(mr.Degraded))
+	nmShed.Add(uint64(mr.Shed))
+	nmTimedOut.Add(uint64(mr.TimedOut))
+	nmDetected.Add(uint64(mr.Detected))
+	nmRetries.Add(uint64(mr.Retries))
+	nmChecker.Add(uint64(mr.CheckerViolations))
+	if err := nmLatency.Merge(lat); err != nil {
+		// Both sides are built over DefaultCycleBounds; a mismatch is a
+		// programming error, not a data condition.
+		panic(err)
 	}
-	idx := (len(sorted) - 1) * q / 100
-	return sorted[idx]
 }
 
 // measureModeResilience runs the resilient serving loop for one
@@ -496,6 +535,8 @@ func measureModeResilience(w workload.Workload, mode core.Mode, requests int, op
 		scope:  w.Name + "/" + mode.String(),
 		clean:  clean,
 		mr:     &mr,
+		lat:    obs.NewCycleHistogram(),
+		tr:     obs.DefaultTrace(),
 	}
 	if mode == core.ModeCash {
 		s.sites = chaos.AllSites()
@@ -513,10 +554,14 @@ func measureModeResilience(w workload.Workload, mode core.Mode, requests int, op
 	for i := 0; i < requests; i++ {
 		s.serve(i)
 	}
-	sort.Slice(s.latencies, func(a, b int) bool { return s.latencies[a] < s.latencies[b] })
-	mr.P50 = percentile(s.latencies, 50)
-	mr.P95 = percentile(s.latencies, 95)
-	mr.P99 = percentile(s.latencies, 99)
+	// Nearest-rank quantiles from the shared histogram. The population is
+	// well inside the exact-sample cap, so these are exact order
+	// statistics — the ceil(q·N/100)-th smallest latency — not the
+	// floored linear index the old local percentile() computed.
+	mr.P50 = s.lat.Quantile(50)
+	mr.P95 = s.lat.Quantile(95)
+	mr.P99 = s.lat.Quantile(99)
+	publishResilience(&mr, s.lat)
 	return mr, nil
 }
 

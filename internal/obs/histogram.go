@@ -1,0 +1,334 @@
+// Package obs is the repository's dependency-free observability layer:
+// a shared fixed-boundary histogram (the one way any package reports a
+// latency distribution), a process-wide metrics registry of named
+// counters and gauges, and a structured event trace.
+//
+// Everything here is off-by-default on hot paths. Producers publish
+// coarse-grained deltas (once per machine run, once per serving loop) and
+// guard event emission behind a nil check, so the simulated numbers —
+// and every committed golden — are byte-identical with the layer idle.
+//
+// Determinism contract: every published metric is either a counter (a
+// sum of per-run deltas), a max-tracking gauge, or a histogram (bucket
+// counts plus an order-insensitive exact-sample set). All of these are
+// commutative across goroutines, so a snapshot delta taken around a
+// table is identical at any `par` fan-out budget; CI pins this.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultExactSamples is how many raw samples a histogram retains for
+// exact quantiles before falling back to bucket-resolution answers.
+// Latency populations in this repository are request-sized (hundreds to
+// a few thousand), so the default keeps every realistic run exact.
+const DefaultExactSamples = 1 << 16
+
+// DefaultCycleBounds returns the shared cycle-scaled bucket upper bounds
+// used for simulated-latency histograms: a 1-2-5 ladder from 100 cycles
+// to 1G cycles. Callers must not mutate the returned slice.
+func DefaultCycleBounds() []uint64 {
+	return []uint64{
+		100, 200, 500,
+		1_000, 2_000, 5_000,
+		10_000, 20_000, 50_000,
+		100_000, 200_000, 500_000,
+		1_000_000, 2_000_000, 5_000_000,
+		10_000_000, 20_000_000, 50_000_000,
+		100_000_000, 200_000_000, 500_000_000,
+		1_000_000_000,
+	}
+}
+
+// Histogram is a fixed-boundary histogram over uint64 observations
+// (cycles, by convention). It keeps bucket counts for merging and
+// exposition, and — up to an exact-sample cap — the raw observations, so
+// small populations get exact nearest-rank quantiles rather than bucket
+// upper bounds. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []uint64 // strictly increasing bucket upper bounds
+	buckets []uint64 // len(bounds)+1; last is the overflow bucket
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	samples []uint64 // raw observations while count <= exactCap
+	exact   bool     // samples still holds every observation
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// bucket upper bounds. It panics on empty or unsorted bounds — boundary
+// sets are compile-time constants, not data.
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]uint64, len(bounds)+1),
+		exact:   true,
+	}
+}
+
+// NewCycleHistogram returns a histogram over DefaultCycleBounds.
+func NewCycleHistogram() *Histogram { return NewHistogram(DefaultCycleBounds()) }
+
+// bucketIndex returns the index of the bucket v falls into: the first
+// bound >= v, or the overflow bucket.
+func (h *Histogram) bucketIndex(v uint64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.observeLocked(v)
+}
+
+func (h *Histogram) observeLocked(v uint64) {
+	h.buckets[h.bucketIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.exact {
+		if len(h.samples) < DefaultExactSamples {
+			h.samples = append(h.samples, v)
+		} else {
+			h.samples, h.exact = nil, false
+		}
+	}
+}
+
+// Merge folds o's observations into h. The two histograms must share the
+// same bucket bounds. Merging keeps exactness only while the combined
+// sample set fits the exact cap. Merge is commutative and associative in
+// every reported quantity, so fan-out order cannot change a snapshot.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h == o {
+		return fmt.Errorf("obs: cannot merge a histogram into itself")
+	}
+	os := o.Snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(os.Bounds) != len(h.bounds) {
+		return fmt.Errorf("obs: merging histograms with %d vs %d bounds", len(os.Bounds), len(h.bounds))
+	}
+	for i, b := range h.bounds {
+		if os.Bounds[i] != b {
+			return fmt.Errorf("obs: merging histograms with different bounds at %d", i)
+		}
+	}
+	if os.Count == 0 {
+		return nil
+	}
+	for i, c := range os.Buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || os.Min < h.min {
+		h.min = os.Min
+	}
+	if os.Max > h.max {
+		h.max = os.Max
+	}
+	h.count += os.Count
+	h.sum += os.Sum
+	if h.exact && os.Exact && len(h.samples)+len(os.Samples) <= DefaultExactSamples {
+		h.samples = append(h.samples, os.Samples...)
+	} else {
+		h.samples, h.exact = nil, false
+	}
+	return nil
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min and Max return the smallest and largest observation (0 when empty).
+func (h *Histogram) Min() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-th percentile (0 <= q <= 100) as the true
+// nearest-rank order statistic: the ceil(q·N/100)-th smallest
+// observation, clamped to [1, N]. With N=5 and q=95 that is the 5th
+// order statistic — the maximum — not the 4th (the floored linear index
+// the old netsim percentile() computed). While the histogram is exact
+// (N within the sample cap) the answer is the exact observation;
+// afterwards it is the upper bound of the bucket holding that rank (the
+// maximum for the overflow bucket). Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q int) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 100 {
+		q = 100
+	}
+	rank := (uint64(q)*h.count + 99) / 100 // ceil(q*N/100), integer-exact
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	if h.exact {
+		sorted := make([]uint64, len(h.samples))
+		copy(sorted, h.samples)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		return sorted[rank-1]
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max // overflow bucket: the max is the tightest bound we kept
+		}
+	}
+	return h.max
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state, used by
+// registry snapshots and for merging across snapshots.
+type HistogramSnapshot struct {
+	Bounds  []uint64 `json:"bounds"`
+	Buckets []uint64 `json:"buckets"` // per-bucket (non-cumulative); last is overflow
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Exact   bool     `json:"exact"`
+	Samples []uint64 `json:"-"` // raw observations while Exact
+}
+
+// Snapshot returns a copy of the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds:  h.bounds, // immutable after construction
+		Buckets: append([]uint64(nil), h.buckets...),
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Exact:   h.exact,
+	}
+	if h.exact {
+		s.Samples = append([]uint64(nil), h.samples...)
+	}
+	return s
+}
+
+// Delta returns the observations h gained since prev (which must be an
+// earlier snapshot of the same histogram: same bounds, no resets).
+// Count, Sum and Buckets subtract exactly; Min/Max/Exact/Samples are
+// not delta-able and are dropped, so quantiles of a delta come from
+// bucket resolution.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Bounds:  s.Bounds,
+		Buckets: make([]uint64, len(s.Buckets)),
+		Count:   s.Count - prev.Count,
+		Sum:     s.Sum - prev.Sum,
+	}
+	for i := range s.Buckets {
+		var p uint64
+		if i < len(prev.Buckets) {
+			p = prev.Buckets[i]
+		}
+		d.Buckets[i] = s.Buckets[i] - p
+	}
+	return d
+}
+
+// Quantile is the nearest-rank quantile of the snapshot. Exact while the
+// snapshot carries its samples, bucket-resolution otherwise (the upper
+// bound of the bucket containing the rank; the last bound for overflow).
+func (s HistogramSnapshot) Quantile(q int) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 100 {
+		q = 100
+	}
+	rank := (uint64(q)*s.Count + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	if s.Exact && len(s.Samples) > 0 {
+		sorted := append([]uint64(nil), s.Samples...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		return sorted[rank-1]
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			if s.Max > 0 {
+				return s.Max
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

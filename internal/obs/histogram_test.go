@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestQuantileNearestRankSmallN is the regression suite for the
+// percentile bug this package replaced: the old netsim percentile()
+// computed a floored linear index ((len-1)*q/100), under-reporting tail
+// quantiles for small served counts. Nearest-rank is the
+// ceil(q·N/100)-th order statistic.
+func TestQuantileNearestRankSmallN(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []uint64
+		q       int
+		want    uint64
+	}{
+		// The motivating case: N=5, q=95 must select the 5th order
+		// statistic (index 4), not index 3 as (5-1)*95/100 did.
+		{"n5_p95_is_max", []uint64{10, 20, 30, 40, 50}, 95, 50},
+		{"n5_p99_is_max", []uint64{10, 20, 30, 40, 50}, 99, 50},
+		{"n5_p50_is_3rd", []uint64{10, 20, 30, 40, 50}, 50, 30}, // ceil(2.5)=3rd
+		{"n5_p100_is_max", []uint64{10, 20, 30, 40, 50}, 100, 50},
+		{"n5_p0_clamps_to_min", []uint64{10, 20, 30, 40, 50}, 0, 10},
+		{"n1_any_q", []uint64{7}, 99, 7},
+		{"n1_p50", []uint64{7}, 50, 7},
+		{"n2_p50_is_1st", []uint64{3, 9}, 50, 3}, // ceil(1.0)=1st
+		{"n2_p51_is_2nd", []uint64{3, 9}, 51, 9}, // ceil(1.02)=2nd
+		{"n2_p95_is_max", []uint64{3, 9}, 95, 9}, // old: idx (1*95)/100 = 0
+		{"n3_p95_is_max", []uint64{1, 2, 3}, 95, 3},
+		{"n4_p75_is_3rd", []uint64{1, 2, 3, 4}, 75, 3}, // ceil(3.0)=3rd
+		{"n4_p76_is_4th", []uint64{1, 2, 3, 4}, 76, 4}, // ceil(3.04)=4th
+		{"n10_p95_is_max", []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 95, 10},
+		{"n20_p95_is_19th", func() []uint64 {
+			s := make([]uint64, 20)
+			for i := range s {
+				s[i] = uint64(i + 1)
+			}
+			return s
+		}(), 95, 19},
+		{"unsorted_input", []uint64{50, 10, 40, 20, 30}, 95, 50},
+		{"duplicates", []uint64{5, 5, 5, 5, 9}, 50, 5},
+		{"empty_is_zero", nil, 95, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewCycleHistogram()
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%d) over %v = %d, want %d", tc.q, tc.samples, got, tc.want)
+			}
+			// The snapshot must agree while exact.
+			if got := h.Snapshot().Quantile(tc.q); got != tc.want {
+				t.Fatalf("Snapshot().Quantile(%d) = %d, want %d", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramAccumulators(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 5126 {
+		t.Fatalf("Sum = %d, want 5126", got)
+	}
+	if h.Min() != 5 || h.Max() != 5000 {
+		t.Fatalf("Min/Max = %d/%d, want 5/5000", h.Min(), h.Max())
+	}
+	s := h.Snapshot()
+	wantBuckets := []uint64{2, 2, 0, 1} // <=10: {5,10}; <=100: {11,100}; <=1000: {}; overflow: {5000}
+	for i, w := range wantBuckets {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewCycleHistogram()
+	b := NewCycleHistogram()
+	for _, v := range []uint64{100, 300} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{200, 400, 999} {
+		b.Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Count(); got != 5 {
+		t.Fatalf("merged Count = %d, want 5", got)
+	}
+	if got := a.Quantile(95); got != 999 {
+		t.Fatalf("merged Quantile(95) = %d, want 999 (exact samples survive merge)", got)
+	}
+	if a.Min() != 100 || a.Max() != 999 {
+		t.Fatalf("merged Min/Max = %d/%d, want 100/999", a.Min(), a.Max())
+	}
+	if err := a.Merge(NewHistogram([]uint64{1, 2})); err == nil {
+		t.Fatal("merging mismatched bounds must fail")
+	}
+	if err := a.Merge(a); err == nil {
+		t.Fatal("self-merge must fail")
+	}
+}
+
+// TestHistogramBucketFallback pins the behaviour past the exact-sample
+// cap: quantiles degrade to the upper bound of the rank's bucket, and
+// the overflow bucket answers with the retained max.
+func TestHistogramBucketFallback(t *testing.T) {
+	h := NewHistogram([]uint64{100, 200, 500})
+	for i := 0; i < DefaultExactSamples+10; i++ {
+		h.Observe(150)
+	}
+	h.Observe(9999)
+	if got := h.Quantile(50); got != 200 {
+		t.Fatalf("bucket-resolution Quantile(50) = %d, want bucket bound 200", got)
+	}
+	if got := h.Quantile(100); got != 9999 {
+		t.Fatalf("overflow-bucket Quantile(100) = %d, want max 9999", got)
+	}
+	s := h.Snapshot()
+	if s.Exact {
+		t.Fatal("snapshot past the cap must not claim exactness")
+	}
+}
+
+func TestHistogramSnapshotDelta(t *testing.T) {
+	h := NewCycleHistogram()
+	h.Observe(100)
+	h.Observe(200)
+	before := h.Snapshot()
+	h.Observe(300)
+	h.Observe(400)
+	d := h.Snapshot().Delta(before)
+	if d.Count != 2 {
+		t.Fatalf("delta Count = %d, want 2", d.Count)
+	}
+	if d.Sum != 700 {
+		t.Fatalf("delta Sum = %d, want 700", d.Sum)
+	}
+	var total uint64
+	for _, c := range d.Buckets {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("delta buckets sum to %d, want 2", total)
+	}
+}
+
+// TestHistogramConcurrentObserve exercises the mutex under -race and
+// checks that fan-out order cannot change the totals.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewCycleHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				h.Observe(uint64(r.Intn(1_000_000)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}
+
+// TestMergeCommutative checks the determinism contract: merging the same
+// set of histograms in different orders yields identical snapshots in
+// every delta-able quantity and identical quantiles.
+func TestMergeCommutative(t *testing.T) {
+	mk := func(vals ...uint64) *Histogram {
+		h := NewCycleHistogram()
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	parts := []*Histogram{mk(100, 900), mk(250), mk(1, 2, 3, 70000)}
+	merged := func(order []int) *Histogram {
+		m := NewCycleHistogram()
+		for _, i := range order {
+			if err := m.Merge(parts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	a := merged([]int{0, 1, 2})
+	b := merged([]int{2, 0, 1})
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatal("merge order changed accumulators")
+	}
+	for _, q := range []int{50, 95, 99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("merge order changed Quantile(%d): %d vs %d", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value is
+// ready to use; registry counters are shared handles, so one atomic add
+// per publish is the entire hot-path cost.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-value/max-tracking int64 metric. Set is last-writer-
+// wins and therefore only deterministic from a single goroutine; SetMax
+// is commutative and safe to publish from fan-out workers.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v if v is larger (commutative).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a set of named metrics. Handles are get-or-create and
+// stable for the registry's lifetime, so packages resolve them once at
+// init and publish with plain atomic operations afterwards.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every package publishes into
+// (and `cashbench -metrics` exposes).
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) checkFree(name, want string) {
+	if _, ok := r.counters[name]; ok && want != "counter" {
+		panic("obs: metric " + name + " already registered as a counter")
+	}
+	if _, ok := r.gauges[name]; ok && want != "gauge" {
+		panic("obs: metric " + name + " already registered as a gauge")
+	}
+	if _, ok := r.hists[name]; ok && want != "histogram" {
+		panic("obs: metric " + name + " already registered as a histogram")
+	}
+}
+
+// Counter returns the named counter, creating it if needed. Registering
+// the same name as a different metric kind panics: metric names are
+// compile-time constants and a clash is a programming error.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkFree(name, "counter")
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkFree(name, "gauge")
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it over the given
+// bounds if needed. An existing histogram is returned as-is; the caller's
+// bounds must describe the same boundary set.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkFree(name, "histogram")
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics. Snapshots
+// are plain data: comparable across processes, delta-capable, and
+// renderable as text or JSON.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Delta returns what changed between prev (the earlier snapshot) and s.
+// Counters and histogram accumulators subtract exactly; gauges are
+// levels, not flows, so the delta carries their current value. Metrics
+// absent from prev are treated as zero, so a delta against an empty
+// snapshot equals s itself.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		d.Histograms[name] = h.Delta(prev.Histograms[name])
+	}
+	return d
+}
+
+// quantilePoints are the percentiles every histogram exposition reports.
+var quantilePoints = [...]int{50, 95, 99}
+
+// Format renders the snapshot as deterministic text, one metric per
+// line, sorted by name. Histograms expand in place into their
+// accumulators (count, sum, cumulative le.<bound> buckets) followed by
+// derived nearest-rank p50/p95/p99 lines. The output contains no
+// host-side quantity, so two runs of the same deterministic experiment
+// produce identical text at any parallelism.
+func (s Snapshot) Format() string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		if v, ok := s.Counters[n]; ok {
+			fmt.Fprintf(&b, "%s %d\n", n, v)
+			continue
+		}
+		if v, ok := s.Gauges[n]; ok {
+			fmt.Fprintf(&b, "%s %d\n", n, v)
+			continue
+		}
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%s.count %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s.sum %d\n", n, h.Sum)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s.le.%d %d\n", n, bound, cum)
+		}
+		if len(h.Buckets) > len(h.Bounds) {
+			cum += h.Buckets[len(h.Bounds)]
+		}
+		fmt.Fprintf(&b, "%s.le.inf %d\n", n, cum)
+		for _, q := range quantilePoints {
+			fmt.Fprintf(&b, "%s.p%d %d\n", n, q, h.Quantile(q))
+		}
+	}
+	return b.String()
+}
+
+// jsonHistogram is the exposition shape of one histogram.
+type jsonHistogram struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Bounds  []uint64 `json:"bounds"`
+	Buckets []uint64 `json:"buckets"`
+	P50     uint64   `json:"p50"`
+	P95     uint64   `json:"p95"`
+	P99     uint64   `json:"p99"`
+}
+
+// JSON renders the snapshot as indented JSON with the same content as
+// Format (maps marshal with sorted keys, so this too is deterministic).
+func (s Snapshot) JSON() ([]byte, error) {
+	out := struct {
+		Counters   map[string]uint64        `json:"counters"`
+		Gauges     map[string]int64         `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]jsonHistogram, len(s.Histograms)),
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = jsonHistogram{
+			Count:   h.Count,
+			Sum:     h.Sum,
+			Bounds:  h.Bounds,
+			Buckets: h.Buckets,
+			P50:     h.Quantile(50),
+			P95:     h.Quantile(95),
+			P99:     h.Quantile(99),
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

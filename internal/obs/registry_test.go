@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter must be get-or-create stable")
+	}
+	g := r.Gauge("a.level")
+	g.Set(10)
+	g.SetMax(7) // lower: no-op
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge = %d, want 10", got)
+	}
+	g.SetMax(12)
+	if got := g.Value(); got != 12 {
+		t.Fatalf("gauge after SetMax = %d, want 12", got)
+	}
+}
+
+func TestRegistryKindClash(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestSnapshotDeltaAndFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("vm.runs")
+	g := r.Gauge("ldt.peak_live")
+	h := r.Histogram("lat.cycles", []uint64{100, 1000})
+	c.Add(3)
+	g.SetMax(9)
+	h.Observe(50)
+	before := r.Snapshot()
+	c.Add(2)
+	g.SetMax(11)
+	h.Observe(500)
+	d := r.Snapshot().Delta(before)
+	if d.Counters["vm.runs"] != 2 {
+		t.Fatalf("counter delta = %d, want 2", d.Counters["vm.runs"])
+	}
+	if d.Gauges["ldt.peak_live"] != 11 {
+		t.Fatalf("gauge delta carries the level: got %d, want 11", d.Gauges["ldt.peak_live"])
+	}
+	if d.Histograms["lat.cycles"].Count != 1 {
+		t.Fatalf("histogram delta count = %d, want 1", d.Histograms["lat.cycles"].Count)
+	}
+
+	text := d.Format()
+	for _, want := range []string{
+		"vm.runs 2\n",
+		"ldt.peak_live 11\n",
+		"lat.cycles.count 1\n",
+		"lat.cycles.sum 500\n",
+		"lat.cycles.le.100 0\n",
+		"lat.cycles.le.1000 1\n",
+		"lat.cycles.le.inf 1\n",
+		"lat.cycles.p50 1000\n", // delta drops samples: bucket resolution
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Format missing %q:\n%s", want, text)
+		}
+	}
+
+	// A delta against the empty snapshot is the snapshot itself.
+	full := r.Snapshot()
+	same := full.Delta(Snapshot{})
+	if same.Counters["vm.runs"] != 5 || same.Histograms["lat.cycles"].Count != 2 {
+		t.Fatal("delta against the empty snapshot must equal the snapshot")
+	}
+}
+
+func TestSnapshotFormatSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Gauge("m.middle").Set(3)
+	s := r.Snapshot()
+	text := s.Format()
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	want := []string{"a.first 2", "m.middle 3", "z.last 1"}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+	if text != s.Format() {
+		t.Fatal("Format must be stable across calls")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Histogram("h", []uint64{10}).Observe(3)
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Histograms map[string]struct {
+			Count uint64 `json:"count"`
+			P50   uint64 `json:"p50"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Counters["c"] != 7 {
+		t.Fatalf("json counter = %d, want 7", parsed.Counters["c"])
+	}
+	if parsed.Histograms["h"].Count != 1 || parsed.Histograms["h"].P50 != 3 {
+		t.Fatalf("json histogram = %+v", parsed.Histograms["h"])
+	}
+	// JSON must be deterministic (sorted map keys).
+	again, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("JSON exposition must be byte-stable")
+	}
+}
+
+// TestRegistryConcurrentPublish hammers one registry from many
+// goroutines under -race and checks the commutative totals.
+func TestRegistryConcurrentPublish(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hits")
+			g := r.Gauge("peak")
+			h := r.Histogram("lat", DefaultCycleBounds())
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.SetMax(int64(w*500 + i))
+				h.Observe(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["hits"] != 4000 {
+		t.Fatalf("hits = %d, want 4000", s.Counters["hits"])
+	}
+	if s.Gauges["peak"] != 7*500+499 {
+		t.Fatalf("peak = %d, want %d", s.Gauges["peak"], 7*500+499)
+	}
+	if s.Histograms["lat"].Count != 4000 {
+		t.Fatalf("lat count = %d, want 4000", s.Histograms["lat"].Count)
+	}
+}
+
+func TestDefaultRegistryIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default registry must be a process-wide singleton")
+	}
+}

@@ -7,7 +7,20 @@
 // the offset within a 4 KiB page — the pipeline of Figure 1 in the paper.
 package paging
 
-import "fmt"
+import (
+	"fmt"
+
+	"cash/internal/obs"
+)
+
+// Process-wide paging metrics in the shared observability registry.
+// Directories publish coarse deltas via PublishMetrics (the VM calls it
+// once per run), so the per-translation hot path carries no atomics.
+var (
+	mWalks     = obs.Default().Counter("paging.walks")
+	mTLBHits   = obs.Default().Counter("paging.tlb.hits")
+	mTLBMisses = obs.Default().Counter("paging.tlb.misses")
+)
 
 const (
 	// PageSize is the x86 page size.
@@ -70,6 +83,9 @@ type Directory struct {
 	tlb       [TLBEntries]tlbEntry
 	tlbHits   uint64
 	tlbMisses uint64
+
+	// Counts already pushed to the shared registry (see PublishMetrics).
+	pubWalks, pubHits, pubMisses uint64
 }
 
 // NewIdentity returns a directory that identity-maps the first n bytes of
@@ -162,6 +178,17 @@ func (d *Directory) TLBHits() uint64 { return d.tlbHits }
 // TLBMisses returns how many translations required a full table walk
 // (including translations that faulted).
 func (d *Directory) TLBMisses() uint64 { return d.tlbMisses }
+
+// PublishMetrics pushes this directory's translation counts into the
+// shared observability registry (internal/obs). It publishes only the
+// delta since the previous call, so it is idempotent over unchanged
+// state and safe to call at every run boundary.
+func (d *Directory) PublishMetrics() {
+	mWalks.Add(d.walks - d.pubWalks)
+	mTLBHits.Add(d.tlbHits - d.pubHits)
+	mTLBMisses.Add(d.tlbMisses - d.pubMisses)
+	d.pubWalks, d.pubHits, d.pubMisses = d.walks, d.tlbHits, d.tlbMisses
+}
 
 // MappedPages returns how many pages currently have a present mapping.
 func (d *Directory) MappedPages() int {

@@ -31,15 +31,18 @@ func SetParallelism(n int) {
 func Parallelism() int { return int(parallelism.Load()) }
 
 // Do runs f(0) … f(n-1), at most Parallelism() at a time, and waits for
-// all of them. It returns the error of the lowest index that failed, so
-// the reported failure does not depend on goroutine scheduling. With a
-// budget of 1 it runs inline with no goroutines at all.
+// every started call to return. On failure it returns the error of the
+// lowest failed index: even when several indices fail simultaneously
+// under a concurrent budget, the reported error is a deterministic
+// function of the failure set, never of goroutine scheduling. With a
+// budget of 1 (or n == 1) it runs inline, with no goroutines at all.
 //
-// Note that an early failure does not cancel later indices under a
-// budget of 1 vs higher budgets differently: sequential execution stops
-// at the first error (later work cannot have observable results anyway,
-// since only the error is returned); use DoCollect when every index must
-// run and every error matters.
+// The budgets differ in one observable way — which indices run. A
+// sequential run stops at the first error, so later indices never
+// execute; a concurrent run starts every index and runs each to
+// completion. The returned error is identical either way. Callers that
+// need every index's side effects, or every error rather than just the
+// lowest, must use DoCollect.
 func Do(n int, f func(i int) error) error {
 	if n <= 0 {
 		return nil

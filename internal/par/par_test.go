@@ -3,6 +3,7 @@ package par
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -39,6 +40,32 @@ func TestDoReturnsLowestIndexError(t *testing.T) {
 		})
 		if err == nil || err.Error() != "fail-3" {
 			t.Fatalf("want fail-3 (lowest failing index), got %v", err)
+		}
+	}
+}
+
+// TestDoConcurrentSimultaneousFailures pins the scheduling-independence
+// half of Do's contract: when several indices fail at the same moment —
+// a rendezvous barrier holds every worker in flight until all have
+// started, so no failure is ordered before another by the work loop —
+// the returned error is still the lowest failed index's.
+func TestDoConcurrentSimultaneousFailures(t *testing.T) {
+	defer SetParallelism(Parallelism())
+	const n = 8
+	SetParallelism(n)
+	for trial := 0; trial < 25; trial++ {
+		var barrier sync.WaitGroup
+		barrier.Add(n)
+		err := Do(n, func(i int) error {
+			barrier.Done()
+			barrier.Wait()
+			if i%2 == 1 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-1" {
+			t.Fatalf("trial %d: want fail-1 (lowest failing index), got %v", trial, err)
 		}
 	}
 }

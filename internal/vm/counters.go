@@ -1,23 +1,56 @@
 package vm
 
-import "sync/atomic"
+import "cash/internal/obs"
 
-// Process-wide totals of simulated work, accumulated by every Machine.Run
-// (including runs that fault). They exist for host-side throughput
-// reporting — simulated instructions per host second — and have no effect
-// on any per-run Result. Updated once per Run with the run's delta, so
-// the atomics cost nothing on the per-instruction path.
+// Process-wide totals of simulated work, published into the shared
+// observability registry (internal/obs) once per Machine.Run with the
+// run's delta — the atomics cost nothing on the per-instruction path and
+// have no effect on any per-run Result. SimCounters reads the same
+// registry counters, so the throughput line and `cashbench -metrics`
+// can never disagree.
 var (
-	simInstructions atomic.Uint64
-	simCycles       atomic.Uint64
+	mSimInstructions = obs.Default().Counter("vm.sim.instructions")
+	mSimCycles       = obs.Default().Counter("vm.sim.cycles")
+	mRuns            = obs.Default().Counter("vm.runs")
+
+	mFaultSegmentation = obs.Default().Counter("vm.faults.segmentation")
+	mFaultPage         = obs.Default().Counter("vm.faults.page")
+	mFaultSWCheck      = obs.Default().Counter("vm.faults.software_check")
+	mFaultDivide       = obs.Default().Counter("vm.faults.divide")
+	mFaultInvalid      = obs.Default().Counter("vm.faults.invalid")
+	mFaultStepLimit    = obs.Default().Counter("vm.faults.step_limit")
+	mFaultTransient    = obs.Default().Counter("vm.faults.transient")
+	mFaultOther        = obs.Default().Counter("vm.faults.other")
 )
 
 func countSim(instructions, cycles uint64) {
 	if instructions != 0 {
-		simInstructions.Add(instructions)
+		mSimInstructions.Add(instructions)
 	}
 	if cycles != 0 {
-		simCycles.Add(cycles)
+		mSimCycles.Add(cycles)
+	}
+}
+
+// countFault publishes one finished run's fault classification.
+func countFault(k FaultKind) {
+	switch k {
+	case FaultSegmentation:
+		mFaultSegmentation.Inc()
+	case FaultPage:
+		mFaultPage.Inc()
+	case FaultSoftwareCheck:
+		mFaultSWCheck.Inc()
+	case FaultDivide:
+		mFaultDivide.Inc()
+	case FaultInvalid:
+		mFaultInvalid.Inc()
+	case FaultStepLimit:
+		mFaultStepLimit.Inc()
+	case FaultTransient:
+		mFaultTransient.Inc()
+	default:
+		mFaultOther.Inc()
 	}
 }
 
@@ -26,5 +59,5 @@ func countSim(instructions, cycles uint64) {
 // with running machines; a machine's contribution appears when its Run
 // returns.
 func SimCounters() (instructions, cycles uint64) {
-	return simInstructions.Load(), simCycles.Load()
+	return mSimInstructions.Value(), mSimCycles.Value()
 }

@@ -5,6 +5,7 @@ import (
 
 	"cash/internal/ldt"
 	"cash/internal/mem"
+	"cash/internal/obs"
 	"cash/internal/paging"
 	"cash/internal/x86seg"
 )
@@ -137,6 +138,15 @@ func WithTrace(fn func(TraceEntry)) Option {
 	return func(m *Machine) { m.trace = fn }
 }
 
+// WithEventTrace attaches a structured event trace (internal/obs): the
+// machine emits segment-register loads and run-ending faults, and wires
+// the trace into the LDT manager for allocation/descriptor events.
+// Event emission is a nil check when no trace is attached, so the
+// simulated numbers are identical either way.
+func WithEventTrace(tr *obs.Trace) Option {
+	return func(m *Machine) { m.etrace = tr }
+}
+
 // WithoutCallGate suppresses call-gate installation so that every segment
 // allocation pays the stock modify_ldt cost (781 cycles) — the §3.6
 // ablation.
@@ -252,6 +262,7 @@ type Machine struct {
 	output []int32
 	stats  Stats
 	trace  func(TraceEntry)
+	etrace *obs.Trace // structured event trace; nil = off
 }
 
 // DefaultStepLimit bounds runaway programs.
@@ -275,6 +286,7 @@ func New(prog *Program, mode Mode, opts ...Option) (*Machine, error) {
 	}
 	m.plain = m.pages == nil && m.trace == nil
 	m.ldtMgr = ldt.NewManager(m.mmu.LDT())
+	m.ldtMgr.SetTrace(m.etrace)
 
 	flatCode, err := x86seg.NewDataDescriptor(0, 0xffffffff)
 	if err != nil {
@@ -407,12 +419,27 @@ func (m *Machine) fault(kind FaultKind, cause error) *Fault {
 // Run executes the program from its entry point until HLT, exit, a fault,
 // or the step limit. On a detected bound violation the returned error is a
 // *Fault with IsBoundViolation() == true.
-func (m *Machine) Run() (*Result, error) {
+func (m *Machine) Run() (res *Result, err error) {
 	c := m.prog.compiledProgram()
 	n := len(c.exec)
 	startInstrs, startCycles := m.stats.Instructions, m.cycles
 	defer func() {
+		// Publish this run's observability delta: process-wide simulated
+		// work, the fault classification, and the per-machine paging and
+		// LDT activity. One batch of atomic adds per run, nothing on the
+		// per-instruction path.
 		countSim(m.stats.Instructions-startInstrs, m.cycles-startCycles)
+		mRuns.Inc()
+		if f, ok := err.(*Fault); ok && f != nil {
+			countFault(f.Kind)
+			if m.etrace.Enabled() {
+				m.etrace.Emit(obs.EvFault, uint64(f.Kind), uint64(f.IP), f.Error())
+			}
+		}
+		if m.pages != nil {
+			m.pages.PublishMetrics()
+		}
+		m.ldtMgr.PublishMetrics()
 	}()
 	for !m.halted {
 		if m.stats.Instructions >= m.stepLimit {

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"cash/internal/obs"
 	"cash/internal/x86seg"
 )
 
@@ -519,6 +520,10 @@ func compileInstr(in *Instr) execFn {
 				return m.fault(FaultSegmentation, err)
 			}
 			m.stats.SegRegLoads++
+			if m.etrace.Enabled() {
+				m.etrace.Emit(obs.EvSegRegLoad, uint64(dst), uint64(v),
+					dst.String()+" <- "+x86seg.Selector(v).String())
+			}
 			m.ip++
 			return nil
 		}

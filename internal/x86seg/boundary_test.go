@@ -1,0 +1,126 @@
+package x86seg
+
+import "testing"
+
+// Boundary tests at the three corners of the descriptor encoding: the
+// largest byte-granular segment (exactly 1 MiB), the first segment
+// forced onto the granularity bit (1 MiB + 1, with its §3.5 round-up
+// slack), and the top of the 32-bit address space, where a naive uint32
+// end-of-access computation would wrap to 0 and let an overflow pass.
+
+// TestBoundaryExactOneMiB: a segment of exactly 1 MiB is the last one
+// the 20-bit limit field encodes byte-granularly. Its bound check must
+// be byte-exact: the final byte is in, the byte after is out.
+func TestBoundaryExactOneMiB(t *testing.T) {
+	const size = uint32(1) << 20
+	d, err := NewDataDescriptor(0x1000, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Granularity {
+		t.Fatal("exactly 1 MiB must stay byte-granular, got G=1")
+	}
+	if d.Limit != MaxByteLimit {
+		t.Fatalf("Limit = %#x, want MaxByteLimit %#x", d.Limit, uint32(MaxByteLimit))
+	}
+	if got := d.EffectiveLimit(); got != size-1 {
+		t.Fatalf("EffectiveLimit = %#x, want %#x", got, size-1)
+	}
+	if err := d.Check(size-1, 1, false); err != nil {
+		t.Fatalf("last byte of a 1 MiB segment must be accessible: %v", err)
+	}
+	if err := d.Check(size-4, 4, true); err != nil {
+		t.Fatalf("word ending on the last byte must be accessible: %v", err)
+	}
+	if err := d.Check(size, 1, false); err == nil {
+		t.Fatal("first byte past 1 MiB must fault")
+	}
+	if err := d.Check(size-1, 2, false); err == nil {
+		t.Fatal("access straddling the 1 MiB limit must fault")
+	}
+}
+
+// TestBoundaryOneMiBPlusOne: one byte more than 1 MiB forces the G bit.
+// The limit is rounded up to whole 4 KiB pages (257 of them), so the
+// hardware check ignores the low 12 bits of the offset and the segment
+// admits up to 4095 bytes past the object's end — exactly the §3.5
+// lower-bound slack the paper bounds at one page.
+func TestBoundaryOneMiBPlusOne(t *testing.T) {
+	const size = uint32(1)<<20 + 1
+	d, err := NewDataDescriptor(0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Granularity {
+		t.Fatal("1 MiB + 1 must set the granularity bit")
+	}
+	if d.Limit != 256 {
+		t.Fatalf("Limit = %d pages - 1, want 256 (257 pages of 4 KiB)", d.Limit)
+	}
+	const wantEff = 257*PageGranule - 1 // 1052671
+	if got := d.EffectiveLimit(); got != wantEff {
+		t.Fatalf("EffectiveLimit = %d, want %d", got, uint32(wantEff))
+	}
+	// The object's own bytes are accessible...
+	if err := d.Check(size-1, 1, false); err != nil {
+		t.Fatalf("last object byte must be accessible: %v", err)
+	}
+	// ...and so is the round-up slack, up to the segment's page-aligned
+	// end — the checking-granularity loss the paper accepts.
+	if err := d.Check(wantEff, 1, true); err != nil {
+		t.Fatalf("round-up slack (%d bytes) must be inside the segment: %v", wantEff-(size-1), err)
+	}
+	if err := d.Check(wantEff+1, 1, false); err == nil {
+		t.Fatal("first byte past the rounded-up segment must fault")
+	}
+}
+
+// TestBoundaryNearFourGiB: a maximal segment reaching the top of the
+// 32-bit space. The end-of-access computation offset+size-1 overflows
+// uint32 for accesses at the very top; the check must do it in 64 bits,
+// or an out-of-bounds access at offset 0xFFFFFFFF would wrap to end=0,
+// pass the limit check, and silently corrupt address 0.
+func TestBoundaryNearFourGiB(t *testing.T) {
+	d, err := NewDataDescriptor(0, 0xFFFFFFFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Granularity {
+		t.Fatal("a ~4 GiB segment must be page-granular")
+	}
+	if got := d.EffectiveLimit(); got != 0xFFFFFFFF {
+		t.Fatalf("EffectiveLimit = %#x, want 0xFFFFFFFF", got)
+	}
+	if err := d.Check(0xFFFFFFFC, 4, true); err != nil {
+		t.Fatalf("word ending on the last addressable byte must pass: %v", err)
+	}
+	if err := d.Check(0xFFFFFFFF, 1, false); err != nil {
+		t.Fatalf("last addressable byte must pass: %v", err)
+	}
+	// offset+size-1 = 0x100000000: wraps to 0 in uint32 arithmetic.
+	if err := d.Check(0xFFFFFFFF, 2, false); err == nil {
+		t.Fatal("access wrapping past 4 GiB must fault, not wrap to offset 0")
+	}
+	if err := d.Check(0xFFFFFFF0, 0x20, false); err == nil {
+		t.Fatal("multi-byte access spilling past 4 GiB must fault")
+	}
+}
+
+// TestBoundarySizeRejections pins the constructor's edges around the
+// same corners: zero size is rejected, and every size from 1 byte to
+// the uint32 maximum encodes without error.
+func TestBoundarySizeRejections(t *testing.T) {
+	if _, err := NewDataDescriptor(0, 0); err == nil {
+		t.Fatal("zero-size segment must be rejected")
+	}
+	for _, size := range []uint32{1, MaxByteLimit, MaxByteLimit + 1, MaxByteLimit + 2, 0xFFFFF000, 0xFFFFFFFF} {
+		d, err := NewDataDescriptor(0, size)
+		if err != nil {
+			t.Fatalf("size %#x: %v", size, err)
+		}
+		// The encoded segment always covers the object: ByteSize >= size.
+		if d.ByteSize() != 0 && d.ByteSize() < size {
+			t.Fatalf("size %#x: ByteSize %#x does not cover the object", size, d.ByteSize())
+		}
+	}
+}
