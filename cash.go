@@ -30,16 +30,26 @@
 //
 //	tab, err := cash.Table("table1")
 //	fmt.Print(tab.Format())
+//
+// Serve many requests through one Engine — compiled artifacts are
+// cached under a content hash, deterministic executions are served
+// from a run cache, machines are pooled, and admission control bounds
+// in-flight work:
+//
+//	eng := cash.NewEngine(cash.EngineConfig{})
+//	art, err := eng.BuildContext(ctx, src, cash.ModeCash, cash.Options{})
+//	res, err := eng.RunContext(ctx, art)
 package cash
 
 import (
-	"fmt"
+	"context"
 
 	"cash/internal/bench"
 	"cash/internal/chaos"
 	"cash/internal/core"
 	"cash/internal/netsim"
 	"cash/internal/obs"
+	"cash/internal/serve"
 	"cash/internal/vm"
 	"cash/internal/workload"
 )
@@ -47,8 +57,8 @@ import (
 // Default chaos-plane parameters for Table("resilience"); cmd/cashbench
 // overrides them with -chaos-seed and -chaos-rate.
 const (
-	DefaultChaosSeed uint64  = 1
-	DefaultChaosRate float64 = 0.05
+	DefaultChaosSeed uint64  = chaos.DefaultSeed
+	DefaultChaosRate float64 = chaos.DefaultRate
 )
 
 // Mode selects one of the three compilers.
@@ -131,6 +141,106 @@ func MeasureOverheadConstants() (OverheadConstants, error) {
 	return core.MeasureOverheadConstants()
 }
 
+// EngineConfig tunes a serving Engine. The zero value gives the
+// defaults: a 64 MiB artifact/run cache, an 8-machine pool, in-flight
+// admission bounded by the parallelism budget, and the process-wide
+// parallelism and event-trace settings.
+type EngineConfig = serve.EngineConfig
+
+// Engine is the serving runtime: it owns every piece of cross-request
+// state — a content-addressed artifact cache (builds of identical
+// source/mode/options are compiled once, concurrent duplicates
+// coalesced), a run cache for deterministic executions, a pool of
+// reusable simulated machines (reset on reuse, indistinguishable from
+// fresh), and admission control bounding in-flight work with a FIFO
+// waiter queue. All methods are safe for concurrent use; every
+// operation takes a context and honors cancellation between simulated
+// basic blocks.
+//
+// Engines are independent: each owns its own cache, pool and admission
+// state, so a misbehaving tenant cannot evict another Engine's
+// artifacts. Package-level helpers (Build, Compare, Table, AllTables)
+// serve through a shared process-default Engine.
+type Engine struct {
+	eng *serve.Engine
+}
+
+// NewEngine builds a serving Engine from cfg.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{eng: serve.NewEngine(cfg)}
+}
+
+// runtime returns the underlying serving engine, falling back to the
+// process-default one for a nil receiver.
+func (e *Engine) runtime() *serve.Engine {
+	if e == nil || e.eng == nil {
+		return serve.Default()
+	}
+	return e.eng
+}
+
+// BuildContext is Build through the Engine: the compiled artifact is
+// cached under a content hash of (source, mode, options), concurrent
+// identical builds are coalesced into one compile, and ctx cancels the
+// wait for an in-flight build.
+func (e *Engine) BuildContext(ctx context.Context, source string, mode Mode, opts Options) (*Artifact, error) {
+	return e.runtime().BuildContext(ctx, source, mode, opts)
+}
+
+// RunContext executes an artifact on a pooled machine under admission
+// control. Deterministic executions are served from the run cache;
+// ctx cancels a queued request and interrupts a running simulation
+// between basic blocks, returning ctx.Err().
+func (e *Engine) RunContext(ctx context.Context, art *Artifact) (*RunResult, error) {
+	return e.runtime().RunContext(ctx, art)
+}
+
+// CompareContext is Compare through the Engine: the three builds and
+// runs are cached, pooled and admission-controlled like any other
+// request.
+func (e *Engine) CompareContext(ctx context.Context, name, source string, opts Options) (*Comparison, error) {
+	return e.runtime().CompareContext(ctx, name, source, opts)
+}
+
+// Table regenerates one registered table by id (see Tables). requests
+// sets the client workload of the network experiments (0 means the
+// paper's 2000); the other tables ignore it.
+func (e *Engine) Table(ctx context.Context, id string, requests int) (*ResultTable, error) {
+	return bench.TableByID(ctx, e.runtime(), id, requests)
+}
+
+// AllTables regenerates every table that `cashbench -all` prints.
+// Repeated calls on one Engine serve builds from the artifact cache
+// and repeated deterministic executions from the run cache, producing
+// byte-identical tables at a fraction of the cold cost.
+func (e *Engine) AllTables(ctx context.Context, requests int) ([]*ResultTable, error) {
+	return bench.AllTablesContext(ctx, e.runtime(), requests)
+}
+
+// AllTablesTimed is AllTables plus per-table host timings.
+func (e *Engine) AllTablesTimed(ctx context.Context, requests int) ([]*ResultTable, []TableTiming, error) {
+	return bench.AllTablesTimedContext(ctx, e.runtime(), requests)
+}
+
+// MeasureNetworkApp is MeasureNetworkApp through the Engine.
+func (e *Engine) MeasureNetworkApp(ctx context.Context, w Workload, requests int, opts Options) (*AppReport, error) {
+	return netsim.MeasureContext(ctx, e.runtime(), w, requests, opts)
+}
+
+// MeasureResilience is MeasureResilienceWith through the Engine.
+func (e *Engine) MeasureResilience(ctx context.Context, w Workload, requests int, opts Options, cfg ResilienceConfig) (*ResilienceReport, error) {
+	return netsim.MeasureResilienceContext(ctx, e.runtime(), w, requests, opts,
+		chaos.NewPlan(chaos.Config{Seed: cfg.Seed, Rate: cfg.Rate}))
+}
+
+// Figure1Trace renders the Figure 1 address-translation pipeline
+// through the Engine. The build is cached; the traced execution always
+// re-simulates, because attaching a trace makes the run observably
+// different.
+func (e *Engine) Figure1Trace(ctx context.Context) (string, error) {
+	return bench.Figure1TraceContext(ctx, e.runtime())
+}
+
 // Workloads returns the paper's full benchmark suite: 6 kernels
 // (Table 1), 6 macro applications (Tables 4-6), 6 network applications
 // (Tables 7-8), and the libc corpus.
@@ -146,17 +256,44 @@ func MeasureNetworkApp(w Workload, requests int, opts Options) (*AppReport, erro
 	return netsim.Measure(w, requests, opts)
 }
 
-// MeasureResilience runs one network application's resilient server
+// ResilienceConfig parameterises the deterministic chaos plane of the
+// resilience experiment. The zero value injects nothing (rate 0); use
+// DefaultResilienceConfig for the golden-table parameters.
+type ResilienceConfig struct {
+	// Seed keys every injection draw; identical seeds reproduce the
+	// fault schedule exactly.
+	Seed uint64
+	// Rate is the per-request injection probability in [0, 1].
+	Rate float64
+}
+
+// DefaultResilienceConfig returns the chaos parameters of the checked-in
+// resilience golden (seed 1, rate 5%).
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{Seed: DefaultChaosSeed, Rate: DefaultChaosRate}
+}
+
+// MeasureResilienceWith runs one network application's resilient server
 // under deterministic fault injection: requests picked by a PRNG seeded
-// with (seed, request index) suffer one of seven injected faults —
+// with (cfg.Seed, request index) suffer one of seven injected faults —
 // transient modify_ldt failures, LDT exhaustion, descriptor or shadow
 // free-list corruption, page-table unmap races, malformed requests,
 // runaway handlers — and the server retries, sheds, degrades to flat
-// segments (§3.4) or detects, but never crashes. Identical seed and
-// rate reproduce the report exactly.
-func MeasureResilience(w Workload, requests int, opts Options, seed uint64, rate float64) (*ResilienceReport, error) {
+// segments (§3.4) or detects, but never crashes. Identical configs
+// reproduce the report exactly.
+func MeasureResilienceWith(w Workload, requests int, opts Options, cfg ResilienceConfig) (*ResilienceReport, error) {
 	return netsim.MeasureResilience(w, requests, opts,
-		chaos.NewPlan(chaos.Config{Seed: seed, Rate: rate}))
+		chaos.NewPlan(chaos.Config{Seed: cfg.Seed, Rate: cfg.Rate}))
+}
+
+// MeasureResilience is MeasureResilienceWith with the chaos parameters
+// spelled positionally.
+//
+// Deprecated: Use MeasureResilienceWith (or Engine.MeasureResilience
+// for cancellation), which names the chaos parameters in a
+// ResilienceConfig instead of a positional (seed, rate) tail.
+func MeasureResilience(w Workload, requests int, opts Options, seed uint64, rate float64) (*ResilienceReport, error) {
+	return MeasureResilienceWith(w, requests, opts, ResilienceConfig{Seed: seed, Rate: rate})
 }
 
 // ResilienceTable renders the resilience experiment for every network
@@ -165,64 +302,60 @@ func ResilienceTable(requests int, seed uint64, rate float64) (*ResultTable, err
 	return bench.ResilienceTable(requests, seed, rate)
 }
 
-// Table regenerates one of the paper's tables or analyses by id:
+// TableSpec describes one registered table of the paper's evaluation.
+// The registry (Tables) is the single source of truth for table ids:
+// Table, TableIDs, AllTables ordering, `cashbench -list` and the
+// unknown-id error all derive from it.
+type TableSpec struct {
+	// ID is the stable identifier accepted by Table (e.g. "table1").
+	ID string
+	// Caption is a one-line description for listings.
+	Caption string
+	// InAll reports whether AllTables regenerates this table. The
+	// resilience table is excluded: the paper's tables are chaos-free.
+	InAll bool
+	// Generate produces the table through an Engine (nil uses the
+	// process default). Generators measuring the network experiment
+	// honor requests (0 means the paper's 2000); the rest ignore it.
+	Generate func(ctx context.Context, eng *Engine, requests int) (*ResultTable, error)
+}
+
+// Tables returns every registered table spec, in paper order. The
+// slice is freshly allocated; callers may reorder or filter it.
+func Tables() []TableSpec {
+	specs := bench.Specs()
+	out := make([]TableSpec, len(specs))
+	for i, sp := range specs {
+		sp := sp
+		out[i] = TableSpec{
+			ID:      sp.ID,
+			Caption: sp.Caption,
+			InAll:   sp.InAll,
+			Generate: func(ctx context.Context, eng *Engine, requests int) (*ResultTable, error) {
+				if requests <= 0 {
+					requests = netsim.DefaultRequests
+				}
+				return sp.Generate(ctx, eng.runtime(), requests)
+			},
+		}
+	}
+	return out
+}
+
+// Table regenerates one of the paper's tables or analyses by id, via
+// the process-default Engine. Valid ids are those of Tables:
 //
 //	table1 table2 table3 table4 table5 table6 table7 table8 table8bcc
 //	ablation-segregs bound detectors constants ldt cache segments figure2
 //	resilience
+//
+// An unknown id yields an error listing every valid id.
 func Table(id string) (*ResultTable, error) {
-	switch id {
-	case "table1":
-		return bench.Table1(4)
-	case "table2":
-		return bench.Table2()
-	case "table3":
-		return bench.Table3()
-	case "table4":
-		return bench.Table4()
-	case "table5":
-		return bench.Table5()
-	case "table6":
-		return bench.Table6()
-	case "table7":
-		return bench.Table7()
-	case "table8":
-		return bench.Table8(netsim.DefaultRequests)
-	case "table8bcc":
-		return bench.Table8BCC(netsim.DefaultRequests)
-	case "ablation-segregs":
-		return bench.AblationSegRegs()
-	case "bound":
-		return bench.BoundInstrTable()
-	case "detectors":
-		return bench.DetectorTable()
-	case "constants":
-		return bench.ConstantsTable()
-	case "ldt":
-		return bench.LDTCostTable()
-	case "cache":
-		return bench.CacheTable()
-	case "segments":
-		return bench.SegmentsTable()
-	case "figure2":
-		return bench.Figure2Table()
-	case "resilience":
-		return bench.ResilienceTable(netsim.DefaultRequests, DefaultChaosSeed, DefaultChaosRate)
-	default:
-		return nil, fmt.Errorf("cash: unknown table %q (see cash.Table doc)", id)
-	}
+	return bench.TableByID(context.Background(), serve.Default(), id, 0)
 }
 
 // TableIDs lists the ids accepted by Table, in paper order.
-func TableIDs() []string {
-	return []string{
-		"table1", "table2", "table3", "table4", "table5", "table6",
-		"table7", "table8", "table8bcc",
-		"ablation-segregs", "bound", "detectors",
-		"constants", "ldt", "cache", "segments", "figure2",
-		"resilience",
-	}
-}
+func TableIDs() []string { return bench.TableIDs() }
 
 // AllTables regenerates every table with the given request count for the
 // network experiment. Tables are produced one at a time, but the
@@ -242,6 +375,10 @@ func AllTablesTimed(requests int) ([]*ResultTable, []TableTiming, error) {
 
 // SetParallelism bounds how many experiments the benchmark harness runs
 // concurrently (default: GOMAXPROCS). 1 forces sequential execution.
+//
+// Deprecated: Use EngineConfig.Parallelism to give each Engine its own
+// budget instead of mutating process-wide state. This setting keeps
+// working: an Engine whose config leaves Parallelism zero honors it.
 func SetParallelism(n int) { bench.SetParallelism(n) }
 
 // Figure1Trace renders the Figure 1 address-translation pipeline
@@ -280,4 +417,8 @@ func NewEventTrace(capacity int) *EventTrace { return obs.NewTrace(capacity) }
 // SetDefaultEventTrace installs (or, with nil, removes) the process-wide
 // event trace — the one the netsim resilient server emits into — and
 // returns the previous one.
+//
+// Deprecated: Use EngineConfig.EventTrace to scope a trace to one
+// Engine instead of mutating process-wide state. This setting keeps
+// working: an Engine whose config leaves EventTrace nil emits into it.
 func SetDefaultEventTrace(tr *EventTrace) *EventTrace { return obs.SetDefaultTrace(tr) }

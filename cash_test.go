@@ -1,6 +1,8 @@
 package cash
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -127,5 +129,101 @@ func TestPublicNetworkMeasure(t *testing.T) {
 	}
 	if rep.LatencyPenaltyPct <= 0 {
 		t.Fatal("latency penalty must be positive")
+	}
+}
+
+func TestPublicTablesRegistry(t *testing.T) {
+	specs := Tables()
+	ids := TableIDs()
+	if len(specs) != len(ids) {
+		t.Fatalf("Tables() has %d entries, TableIDs %d", len(specs), len(ids))
+	}
+	for i, sp := range specs {
+		if sp.ID != ids[i] {
+			t.Fatalf("spec %d id %q, TableIDs %q — registry and id list diverged", i, sp.ID, ids[i])
+		}
+		if sp.Caption == "" {
+			t.Fatalf("%s: empty caption", sp.ID)
+		}
+		if sp.Generate == nil {
+			t.Fatalf("%s: nil generator", sp.ID)
+		}
+		if wantInAll := sp.ID != "resilience"; sp.InAll != wantInAll {
+			t.Fatalf("%s: InAll = %v, want %v", sp.ID, sp.InAll, wantInAll)
+		}
+	}
+	// A spec generates through a nil Engine (process default).
+	sp, ok := specByID(t, "constants")
+	if !ok {
+		t.Fatal("constants spec missing")
+	}
+	tab, err := sp.Generate(context.Background(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("constants: empty table")
+	}
+	// The unknown-id error derives from the registry: it lists every id.
+	_, err = Table("table99")
+	if err == nil {
+		t.Fatal("unknown table id must error")
+	}
+	for _, id := range ids {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("unknown-id error %q does not list %q", err, id)
+		}
+	}
+}
+
+func specByID(t *testing.T, id string) (TableSpec, bool) {
+	t.Helper()
+	for _, sp := range Tables() {
+		if sp.ID == id {
+			return sp, true
+		}
+	}
+	return TableSpec{}, false
+}
+
+func TestPublicEngineServes(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	ctx := context.Background()
+	art, err := eng.BuildContext(ctx, demoSafe, ModeCash, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := eng.RunContext(ctx, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng.RunContext(ctx, art) // run-cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cycles != res2.Cycles || len(res1.Output) != len(res2.Output) {
+		t.Fatal("cached run differs from real run")
+	}
+	cmp, err := eng.CompareContext(ctx, "demo", demoSafe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CashOverheadPct() >= cmp.BCCOverheadPct() {
+		t.Fatal("engine-served comparison lost the paper's ordering")
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := eng.RunContext(canceled, art); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run: err = %v, want context.Canceled", err)
+	}
+	if _, err := eng.Table(ctx, "table99", 0); err == nil {
+		t.Fatal("engine lookup of unknown table id must error")
+	}
+}
+
+func TestPublicResilienceConfig(t *testing.T) {
+	cfg := DefaultResilienceConfig()
+	if cfg.Seed != DefaultChaosSeed || cfg.Rate != DefaultChaosRate {
+		t.Fatalf("DefaultResilienceConfig = %+v, want seed %d rate %v", cfg, DefaultChaosSeed, DefaultChaosRate)
 	}
 }

@@ -6,7 +6,18 @@
 //	cashbench -all [-requests 2000]    regenerate everything
 //	cashbench -table table1            one table (see -list)
 //	cashbench -figure1                 the translation-pipeline trace
-//	cashbench -list                    list table ids
+//	cashbench -list                    list table ids and captions
+//
+// All work is served through one cash.Engine: compiled artifacts are
+// cached under a content hash, deterministic executions come from a
+// run cache, simulated machines are pooled, and admission control
+// bounds in-flight work. The serving knobs:
+//
+//	-repeat N    with -all, serve the suite N times through the same
+//	             Engine; pass 1 is printed, later (cache-warm) passes
+//	             must be byte-identical or the run fails
+//	-no-cache    disable the artifact/run cache
+//	-no-pool     disable machine pooling
 //
 // The resilience experiment (fault injection against the network
 // servers) takes two extra knobs; the same seed and rate always
@@ -36,6 +47,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -88,10 +100,26 @@ func run() (err error) {
 		metrics     = flag.Bool("metrics", false, "print the observability-registry delta to stderr")
 		metricsOut  = flag.String("metrics-out", "", "write the observability-registry delta to this file as text")
 		metricsJSON = flag.String("metrics-json", "", "write the observability-registry delta to this file as JSON")
+		repeat      = flag.Int("repeat", 1, "with -all, serve the suite this many times through one Engine (later passes must match pass 1)")
+		noCache     = flag.Bool("no-cache", false, "disable the Engine's artifact/run cache")
+		noPool      = flag.Bool("no-pool", false, "disable the Engine's machine pool")
 	)
 	flag.Parse()
 
+	// The deprecated global still steers code without an Engine in hand
+	// (and Engines built with a zero Parallelism, like the resilience
+	// table's private one).
 	cash.SetParallelism(*parallel)
+
+	cfg := cash.EngineConfig{Parallelism: *parallel}
+	if *noCache {
+		cfg.CacheBytes = -1
+	}
+	if *noPool {
+		cfg.PoolSize = -1
+	}
+	eng := cash.NewEngine(cfg)
+	ctx := context.Background()
 
 	if *cpuProfile != "" {
 		f, cerr := os.Create(*cpuProfile)
@@ -135,11 +163,13 @@ func run() (err error) {
 
 	switch {
 	case *list:
-		fmt.Println(strings.Join(cash.TableIDs(), "\n"))
+		for _, sp := range cash.Tables() {
+			fmt.Printf("%-17s %s\n", sp.ID, sp.Caption)
+		}
 		return nil
 
 	case *figure1:
-		out, err := cash.Figure1Trace()
+		out, err := eng.Figure1Trace(ctx)
 		if err != nil {
 			return err
 		}
@@ -155,7 +185,7 @@ func run() (err error) {
 		if *table == "resilience" {
 			tab, err = cash.ResilienceTable(*requests, *chaosSeed, *chaosRate)
 		} else {
-			tab, err = cash.Table(*table)
+			tab, err = eng.Table(ctx, *table, *requests)
 		}
 		if err != nil {
 			return err
@@ -165,20 +195,39 @@ func run() (err error) {
 		return nil
 
 	case *all:
+		if *repeat < 1 {
+			return fmt.Errorf("-repeat must be at least 1, got %d", *repeat)
+		}
 		start := time.Now()
-		tabs, timings, err := cash.AllTablesTimed(*requests)
-		if err != nil {
-			return err
+		var (
+			first   string
+			timings []cash.TableTiming
+		)
+		for pass := 1; pass <= *repeat; pass++ {
+			tabs, tms, err := eng.AllTablesTimed(ctx, *requests)
+			if err != nil {
+				return err
+			}
+			var b strings.Builder
+			for _, tab := range tabs {
+				b.WriteString(tab.Format())
+				b.WriteByte('\n')
+			}
+			trace, err := eng.Figure1Trace(ctx)
+			if err != nil {
+				return err
+			}
+			b.WriteString(trace)
+			if pass == 1 {
+				first = b.String()
+				timings = tms
+				fmt.Print(first)
+				continue
+			}
+			if b.String() != first {
+				return fmt.Errorf("pass %d output diverged from pass 1 (%d vs %d bytes): cache-warm passes must be byte-identical", pass, b.Len(), len(first))
+			}
 		}
-		for _, tab := range tabs {
-			fmt.Print(tab.Format())
-			fmt.Println()
-		}
-		out, err := cash.Figure1Trace()
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
 		elapsed := time.Since(start)
 		reportThroughput(elapsed)
 		if *jsonPath != "" {

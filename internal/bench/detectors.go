@@ -1,10 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"cash/internal/core"
-	"cash/internal/par"
+	"cash/internal/serve"
 )
 
 // DetectorTable compares the bound-violation detectors the paper
@@ -68,6 +69,10 @@ func detectorVariants() []detectorVariant {
 
 // DetectorTable builds the comparison.
 func DetectorTable() (*Table, error) {
+	return detectorTable(context.Background(), serve.Default())
+}
+
+func detectorTable(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	t := &Table{
 		ID:      "detectors",
 		Title:   "bound-violation detectors on a heap-churn workload (200 allocations)",
@@ -84,13 +89,13 @@ func DetectorTable() (*Table, error) {
 	}
 	vs := detectorVariants()
 	results := make([]variantResult, len(vs))
-	err := par.Do(len(vs), func(i int) error {
+	err := eng.Do(len(vs), func(i int) error {
 		v := vs[i]
-		art, err := core.Build(detectorHeapKernel, v.mode, v.opts)
+		art, err := eng.BuildContext(ctx, detectorHeapKernel, v.mode, v.opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", v.name, err)
 		}
-		res, err := art.Run()
+		res, err := eng.RunContext(ctx, art)
 		if err != nil {
 			return fmt.Errorf("%s: %w", v.name, err)
 		}
@@ -100,7 +105,7 @@ func DetectorTable() (*Table, error) {
 		results[i].cycles = res.Cycles
 		results[i].heapSpan = res.HeapSpan
 		for pi, probe := range []string{probeHeap, probeGlobal, probeStack} {
-			caught, err := detects(probe, v)
+			caught, err := detects(ctx, eng, probe, v)
 			if err != nil {
 				return fmt.Errorf("%s: probe: %w", v.name, err)
 			}
@@ -133,14 +138,20 @@ func DetectorTable() (*Table, error) {
 	return t, nil
 }
 
-// detects reports whether the variant stops the probe's overflow.
-func detects(src string, v detectorVariant) (bool, error) {
-	art, err := core.Build(src, v.mode, v.opts)
+// detects reports whether the variant stops the probe's overflow. The
+// run goes through the Engine, so a probe's outcome — including the
+// expensive unchecked-GCC runaways that burn the whole step budget —
+// is simulated once and served from the run cache afterwards.
+func detects(ctx context.Context, eng *serve.Engine, src string, v detectorVariant) (bool, error) {
+	art, err := eng.BuildContext(ctx, src, v.mode, v.opts)
 	if err != nil {
 		return false, err
 	}
-	res, err := art.Run()
+	res, err := eng.RunContext(ctx, art)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return false, cerr
+		}
 		// A crash that is not a classified violation (e.g. corrupted
 		// control flow under GCC) still means the overflow went
 		// undetected at the offending reference.

@@ -1,13 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"cash/internal/core"
 	"cash/internal/ldt"
-	"cash/internal/par"
+	"cash/internal/serve"
 	"cash/internal/vm"
 	"cash/internal/workload"
 	"cash/internal/x86seg"
@@ -17,6 +18,10 @@ import (
 // kernel, the fraction of bound checks that fall back to software and the
 // resulting overhead with 2, 3 and 4 segment registers.
 func AblationSegRegs() (*Table, error) {
+	return ablationSegRegs(context.Background(), serve.Default())
+}
+
+func ablationSegRegs(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	t := &Table{
 		ID:      "ablation-segregs",
 		Title:   "Cash overhead and software-check share vs segment-register budget",
@@ -27,11 +32,11 @@ func AblationSegRegs() (*Table, error) {
 	}
 	ws := workload.Kernels()
 	t.Rows = make([][]string, len(ws))
-	err := par.Do(len(ws), func(i int) error {
+	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
 		row := []string{w.Paper}
 		for _, regs := range []int{2, 3, 4} {
-			cmp, err := core.Compare(w.Name, w.Source, core.Options{SegRegs: regs})
+			cmp, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{SegRegs: regs})
 			if err != nil {
 				return err
 			}
@@ -55,12 +60,16 @@ func AblationSegRegs() (*Table, error) {
 // workload: allocation requests, 3-entry cache hits, kernel entries, and
 // the share of run time spent in LDT modification.
 func CacheTable() (*Table, error) {
+	return cacheTable(context.Background(), serve.Default())
+}
+
+func cacheTable(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	w, _ := workload.ByName("toast")
-	art, err := core.Build(w.Source, core.ModeCash, core.Options{})
+	art, err := eng.BuildContext(ctx, w.Source, core.ModeCash, core.Options{})
 	if err != nil {
 		return nil, err
 	}
-	res, err := art.Run()
+	res, err := eng.RunContext(ctx, art)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +102,10 @@ func CacheTable() (*Table, error) {
 // number of simultaneously live segments per suite, against the 8191
 // budget.
 func SegmentsTable() (*Table, error) {
+	return segmentsTable(context.Background(), serve.Default())
+}
+
+func segmentsTable(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	t := &Table{
 		ID:      "segments",
 		Title:   "peak simultaneously live segments per application (budget: 8191)",
@@ -100,13 +113,13 @@ func SegmentsTable() (*Table, error) {
 	}
 	ws := workload.All()
 	t.Rows = make([][]string, len(ws))
-	err := par.Do(len(ws), func(i int) error {
+	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
-		art, err := core.Build(w.Source, core.ModeCash, core.Options{})
+		art, err := eng.BuildContext(ctx, w.Source, core.ModeCash, core.Options{})
 		if err != nil {
 			return err
 		}
-		res, err := art.Run()
+		res, err := eng.RunContext(ctx, art)
 		if err != nil {
 			return err
 		}
@@ -189,6 +202,10 @@ func LDTCostTable() (*Table, error) {
 // instruction (7 cycles, one instruction) and the explicit 6-instruction
 // check sequence, as the software checker of BCC.
 func BoundInstrTable() (*Table, error) {
+	return boundInstrTable(context.Background(), serve.Default())
+}
+
+func boundInstrTable(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	t := &Table{
 		ID:      "bound",
 		Title:   "bound instruction vs 6-instruction check sequence (BCC software checker, §2)",
@@ -199,13 +216,13 @@ func BoundInstrTable() (*Table, error) {
 	}
 	ws := workload.Kernels()
 	t.Rows = make([][]string, len(ws))
-	err := par.Do(len(ws), func(i int) error {
+	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
-		seq, err := core.Compare(w.Name, w.Source, core.Options{})
+		seq, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{})
 		if err != nil {
 			return err
 		}
-		bnd, err := core.Compare(w.Name, w.Source, core.Options{UseBoundInstr: true})
+		bnd, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{UseBoundInstr: true})
 		if err != nil {
 			return err
 		}
@@ -265,6 +282,14 @@ func Figure2Table() (*Table, error) {
 // Figure1Trace runs a tiny program with paging enabled and renders the
 // segment->linear->physical pipeline of its first data references.
 func Figure1Trace() (string, error) {
+	return Figure1TraceContext(context.Background(), serve.Default())
+}
+
+// Figure1TraceContext is Figure1Trace through an explicit Engine. The
+// build is cached, but the traced execution always re-simulates: trace
+// attachment makes the run observably different, so it bypasses the
+// run cache by design.
+func Figure1TraceContext(ctx context.Context, eng *serve.Engine) (string, error) {
 	src := `
 int a[4] = {10, 20, 30, 40};
 void main() {
@@ -272,7 +297,7 @@ void main() {
 	for (int i = 0; i < 4; i++) s += a[i];
 	printi(s);
 }`
-	art, err := core.Build(src, core.ModeCash, Options())
+	art, err := eng.BuildContext(ctx, src, core.ModeCash, Options())
 	if err != nil {
 		return "", err
 	}
@@ -326,31 +351,10 @@ func (tm Timing) InstrPerSec() float64 {
 	return float64(tm.SimInstructions) / (float64(tm.HostNS) / 1e9)
 }
 
-func tableMakers(requests int) []func() (*Table, error) {
-	return []func() (*Table, error){
-		func() (*Table, error) { return Table1(4) },
-		Table2,
-		Table3,
-		Table4,
-		Table5,
-		Table6,
-		Table7,
-		func() (*Table, error) { return Table8(requests) },
-		func() (*Table, error) { return Table8BCC(requests) },
-		AblationSegRegs,
-		BoundInstrTable,
-		DetectorTable,
-		ConstantsTable,
-		LDTCostTable,
-		CacheTable,
-		SegmentsTable,
-		Figure2Table,
-	}
-}
-
-// AllTables regenerates every table (not the trace) in paper order.
-// Within each table, independent rows run concurrently up to the
-// SetParallelism budget; the tables themselves run one after another.
+// AllTables regenerates every InAll table of the Specs registry (not
+// the trace) in paper order, through the process-default Engine. Within
+// each table, independent rows run concurrently up to the parallelism
+// budget; the tables themselves run one after another.
 func AllTables(requests int) ([]*Table, error) {
 	tables, _, err := AllTablesTimed(requests)
 	return tables, err
@@ -358,13 +362,34 @@ func AllTables(requests int) ([]*Table, error) {
 
 // AllTablesTimed is AllTables plus per-table host timings.
 func AllTablesTimed(requests int) ([]*Table, []Timing, error) {
-	makers := tableMakers(requests)
-	tables := make([]*Table, 0, len(makers))
-	timings := make([]Timing, 0, len(makers))
-	for _, mk := range makers {
+	return AllTablesTimedContext(context.Background(), serve.Default(), requests)
+}
+
+// AllTablesContext is AllTables through an explicit Engine: repeated
+// calls on one Engine serve every build from the artifact cache and
+// every repeated deterministic execution from the run cache, so a warm
+// pass costs a fraction of a cold one while producing byte-identical
+// tables.
+func AllTablesContext(ctx context.Context, eng *serve.Engine, requests int) ([]*Table, error) {
+	tables, _, err := AllTablesTimedContext(ctx, eng, requests)
+	return tables, err
+}
+
+// AllTablesTimedContext is AllTablesContext plus per-table host
+// timings. The simulated counts are exact for a cold Engine; a warm
+// pass attributes near-zero simulated work to cached tables, because
+// their runs were never re-simulated.
+func AllTablesTimedContext(ctx context.Context, eng *serve.Engine, requests int) ([]*Table, []Timing, error) {
+	specs := Specs()
+	tables := make([]*Table, 0, len(specs))
+	timings := make([]Timing, 0, len(specs))
+	for _, sp := range specs {
+		if !sp.InAll {
+			continue
+		}
 		startInstr, startCycles := vm.SimCounters()
 		start := time.Now()
-		t, err := mk()
+		t, err := sp.Generate(ctx, eng, requests)
 		if err != nil {
 			return nil, nil, err
 		}

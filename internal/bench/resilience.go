@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"cash/internal/chaos"
 	"cash/internal/core"
 	"cash/internal/netsim"
+	"cash/internal/serve"
 )
 
 // ResilienceTable runs the resilient network servers (internal/netsim)
@@ -14,8 +16,17 @@ import (
 // AllTables: the paper's tables are chaos-free, and keeping this table
 // separate keeps their goldens byte-identical.
 func ResilienceTable(requests int, seed uint64, rate float64) (*Table, error) {
+	return ResilienceTableContext(context.Background(), requests, seed, rate)
+}
+
+// ResilienceTableContext is ResilienceTable with cancellation. It
+// deliberately measures on a fresh private Engine rather than a
+// caller-supplied one, so the serve-layer metrics it publishes are a
+// pure function of (requests, seed, rate) — the property the metrics
+// golden checks.
+func ResilienceTableContext(ctx context.Context, requests int, seed uint64, rate float64) (*Table, error) {
 	plan := chaos.NewPlan(chaos.Config{Seed: seed, Rate: rate})
-	reps, err := netsim.MeasureAllResilience(requests, core.Options{}, plan)
+	reps, err := netsim.MeasureAllResilienceContext(ctx, serve.NewEngine(serve.EngineConfig{}), requests, core.Options{}, plan)
 	if err != nil {
 		return nil, err
 	}

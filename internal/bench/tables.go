@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"cash/internal/core"
 	"cash/internal/netsim"
 	"cash/internal/par"
+	"cash/internal/serve"
 	"cash/internal/workload"
 )
 
@@ -13,6 +15,10 @@ import (
 // concurrently; 1 forces fully sequential execution. Every table's
 // content is independent of the setting — rows are independent
 // deterministic simulations assembled in index order.
+//
+// Deprecated: the knob is process-wide. Give each serving Engine its
+// own budget with serve.EngineConfig.Parallelism instead; Engines with
+// no explicit budget keep honoring this setting.
 func SetParallelism(n int) { par.SetParallelism(n) }
 
 // Parallelism returns the current worker budget.
@@ -25,6 +31,10 @@ func Parallelism() int { return par.Parallelism() }
 // segment registers. As a result, all software bound checks are
 // eliminated").
 func Table1(segRegs int) (*Table, error) {
+	return table1(context.Background(), serve.Default(), segRegs)
+}
+
+func table1(ctx context.Context, eng *serve.Engine, segRegs int) (*Table, error) {
 	if segRegs == 0 {
 		segRegs = 4
 	}
@@ -39,9 +49,9 @@ func Table1(segRegs int) (*Table, error) {
 	}
 	ws := workload.Kernels()
 	t.Rows = make([][]string, len(ws))
-	err := par.Do(len(ws), func(i int) error {
+	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
-		cmp, err := core.Compare(w.Name, w.Source, core.Options{SegRegs: segRegs})
+		cmp, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{SegRegs: segRegs})
 		if err != nil {
 			return err
 		}
@@ -63,12 +73,12 @@ func Table1(segRegs int) (*Table, error) {
 // Table2 reproduces the kernel binary-size comparison: GCC text bytes and
 // the Cash/BCC percentage increases.
 func Table2() (*Table, error) {
-	return sizeTable("table2", "kernel binary code size", workload.Kernels())
+	return sizeTable(context.Background(), serve.Default(), "table2", "kernel binary code size", workload.Kernels())
 }
 
 // Table6 reproduces the macro-application binary-size comparison.
 func Table6() (*Table, error) {
-	return sizeTable("table6", "macro-application binary code size", workload.Macros())
+	return sizeTable(context.Background(), serve.Default(), "table6", "macro-application binary code size", workload.Macros())
 }
 
 // staticLinkSizes compiles the libc corpus under each mode. The paper's
@@ -77,11 +87,11 @@ func Table6() (*Table, error) {
 // replication factor models linking many translation units of library
 // code, keeping the library the dominant size contribution as in the
 // paper's 400-500 KB binaries.
-func staticLinkSizes() (map[core.Mode]int, error) {
+func staticLinkSizes(ctx context.Context, eng *serve.Engine) (map[core.Mode]int, error) {
 	lib := workload.LibCorpus()
 	out := make(map[core.Mode]int, 3)
 	for _, mode := range []core.Mode{core.ModeGCC, core.ModeCash, core.ModeBCC} {
-		art, err := core.Build(lib.Source, mode, core.Options{})
+		art, err := eng.BuildContext(ctx, lib.Source, mode, core.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("libc corpus: %w", err)
 		}
@@ -90,8 +100,8 @@ func staticLinkSizes() (map[core.Mode]int, error) {
 	return out, nil
 }
 
-func sizeTable(id, title string, ws []workload.Workload) (*Table, error) {
-	libSizes, err := staticLinkSizes()
+func sizeTable(ctx context.Context, eng *serve.Engine, id, title string, ws []workload.Workload) (*Table, error) {
+	libSizes, err := staticLinkSizes(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -104,11 +114,11 @@ func sizeTable(id, title string, ws []workload.Workload) (*Table, error) {
 		},
 	}
 	t.Rows = make([][]string, len(ws))
-	err = par.Do(len(ws), func(i int) error {
+	err = eng.Do(len(ws), func(i int) error {
 		w := ws[i]
 		sizes := make(map[core.Mode]int, 3)
 		for _, mode := range []core.Mode{core.ModeGCC, core.ModeCash, core.ModeBCC} {
-			art, err := core.Build(w.Source, mode, core.Options{})
+			art, err := eng.BuildContext(ctx, w.Source, mode, core.Options{})
 			if err != nil {
 				return fmt.Errorf("%s: %w", w.Name, err)
 			}
@@ -134,6 +144,10 @@ func sizeTable(id, title string, ws []workload.Workload) (*Table, error) {
 // the matrix grows (the paper sweeps 64..512; we sweep the same shape at
 // simulator-friendly sizes).
 func Table3() (*Table, error) {
+	return table3(context.Background(), serve.Default())
+}
+
+func table3(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	type series struct {
 		paper string
 		mk    func(int) workload.Workload
@@ -156,10 +170,10 @@ func Table3() (*Table, error) {
 	// sweep so all cells share the worker budget.
 	perRow := len(sweeps[0].sizes)
 	cells := make([]string, len(sweeps)*perRow)
-	err := par.Do(len(cells), func(i int) error {
+	err := eng.Do(len(cells), func(i int) error {
 		s := sweeps[i/perRow]
 		w := s.mk(s.sizes[i%perRow])
-		cmp, err := core.Compare(w.Name, w.Source, core.Options{SegRegs: 4})
+		cmp, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{SegRegs: 4})
 		if err != nil {
 			return err
 		}
@@ -177,15 +191,15 @@ func Table3() (*Table, error) {
 
 // Table4 reproduces the macro-application characteristics.
 func Table4() (*Table, error) {
-	return characteristicsTable("table4", "macro-application characteristics", workload.Macros())
+	return characteristicsTable(context.Background(), serve.Default(), "table4", "macro-application characteristics", workload.Macros())
 }
 
 // Table7 reproduces the network-application characteristics.
 func Table7() (*Table, error) {
-	return characteristicsTable("table7", "network-application characteristics", workload.NetworkApps())
+	return characteristicsTable(context.Background(), serve.Default(), "table7", "network-application characteristics", workload.NetworkApps())
 }
 
-func characteristicsTable(id, title string, ws []workload.Workload) (*Table, error) {
+func characteristicsTable(ctx context.Context, eng *serve.Engine, id, title string, ws []workload.Workload) (*Table, error) {
 	t := &Table{
 		ID:      id,
 		Title:   title,
@@ -196,7 +210,7 @@ func characteristicsTable(id, title string, ws []workload.Workload) (*Table, err
 		},
 	}
 	t.Rows = make([][]string, len(ws))
-	err := par.Do(len(ws), func(i int) error {
+	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
 		ch, err := core.Characterize(w.Source, 3)
 		if err != nil {
@@ -207,11 +221,11 @@ func characteristicsTable(id, title string, ws []workload.Workload) (*Table, err
 			fracPct = float64(ch.SpilledLoops) / float64(ch.ArrayUsingLoops) * 100
 		}
 		// Dynamic share of loop iterations executed in spilled loops.
-		art, err := core.Build(w.Source, core.ModeCash, core.Options{})
+		art, err := eng.BuildContext(ctx, w.Source, core.ModeCash, core.Options{})
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
-		res, err := art.Run()
+		res, err := eng.RunContext(ctx, art)
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -235,6 +249,10 @@ func characteristicsTable(id, title string, ws []workload.Workload) (*Table, err
 
 // Table5 reproduces the macro-application performance comparison.
 func Table5() (*Table, error) {
+	return table5(context.Background(), serve.Default())
+}
+
+func table5(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	t := &Table{
 		ID:      "table5",
 		Title:   "macro-application overheads (GCC cycles; Cash/BCC % increase)",
@@ -242,9 +260,9 @@ func Table5() (*Table, error) {
 	}
 	ws := workload.Macros()
 	t.Rows = make([][]string, len(ws))
-	err := par.Do(len(ws), func(i int) error {
+	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
-		cmp, err := core.Compare(w.Name, w.Source, core.Options{})
+		cmp, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{})
 		if err != nil {
 			return err
 		}
@@ -265,7 +283,11 @@ func Table5() (*Table, error) {
 // Table8 reproduces the network-application latency/throughput/space
 // penalties of Cash over the unchecked baseline.
 func Table8(requests int) (*Table, error) {
-	reps, err := netsim.MeasureAll(requests, core.Options{})
+	return table8(context.Background(), serve.Default(), requests)
+}
+
+func table8(ctx context.Context, eng *serve.Engine, requests int) (*Table, error) {
+	reps, err := netsim.MeasureAllContext(ctx, eng, requests, core.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +314,11 @@ func Table8(requests int) (*Table, error) {
 // Table8BCC is the comparison the paper could not run: BCC's latency
 // penalty on the network applications.
 func Table8BCC(requests int) (*Table, error) {
-	reps, err := netsim.MeasureAll(requests, core.Options{})
+	return table8BCC(context.Background(), serve.Default(), requests)
+}
+
+func table8BCC(ctx context.Context, eng *serve.Engine, requests int) (*Table, error) {
+	reps, err := netsim.MeasureAllContext(ctx, eng, requests, core.Options{})
 	if err != nil {
 		return nil, err
 	}

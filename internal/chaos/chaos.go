@@ -91,6 +91,13 @@ func UniversalSites() []Site {
 }
 
 // Config parameterises a Plan.
+// Default chaos parameters: the seed and injection rate used by the
+// resilience golden and by callers that do not pick their own.
+const (
+	DefaultSeed uint64  = 1
+	DefaultRate float64 = 0.05
+)
+
 type Config struct {
 	// Seed keys every draw; equal seeds give identical fault schedules.
 	Seed uint64

@@ -42,6 +42,14 @@ func countBuild(mode Mode) {
 	}
 }
 
+// NoteCachedBuild records a logical build that was satisfied without
+// compiling — an artifact-cache hit or a coalesced concurrent build in
+// the serving engine. The core.builds.* counters thereby keep counting
+// requests, not compiles, so their values are independent of cache
+// state; the engine's own serve.cache.* counters carry the hit/miss
+// split.
+func NoteCachedBuild(mode Mode) { countBuild(mode) }
+
 // Mode re-exports the compiler mode for users of the core API.
 type Mode = vm.Mode
 
@@ -130,6 +138,19 @@ func Build(source string, mode Mode, opts Options) (*Artifact, error) {
 // CodeSize returns the estimated binary text size in bytes.
 func (a *Artifact) CodeSize() int { return a.Program.CodeSize() }
 
+// Options returns the build options the artifact was compiled with.
+func (a *Artifact) Options() Options { return a.opts }
+
+// WithEventTrace returns a shallow copy of the artifact whose machines
+// emit into tr (the compiled Program is shared — predecoding happens
+// once). The serving engine uses it to attach a request's trace to a
+// cached, trace-free artifact.
+func (a *Artifact) WithEventTrace(tr *obs.Trace) *Artifact {
+	clone := *a
+	clone.opts.EventTrace = tr
+	return &clone
+}
+
 // StaticStats exposes the code generator's static counters.
 func (a *Artifact) StaticStats() map[string]uint64 { return a.Program.Stats }
 
@@ -174,6 +195,13 @@ func (a *Artifact) Run(extra ...vm.Option) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return a.RunOn(m)
+}
+
+// RunOn executes the artifact on a machine the caller already prepared
+// (via NewMachine, possibly with recycled pooled parts) and classifies
+// the outcome exactly as Run does.
+func (a *Artifact) RunOn(m *vm.Machine) (*RunResult, error) {
 	res, runErr := m.Run()
 	out := &RunResult{Result: res, HeapSpan: m.HeapSpan()}
 	mRuns.Inc()
@@ -244,17 +272,40 @@ func overheadPct(v, base uint64) float64 {
 	return (float64(v) - float64(base)) / float64(base) * 100
 }
 
+// Runner abstracts how a comparison obtains and executes artifacts, so
+// the same three-mode workflow can run either directly (build and run
+// from scratch, the Compare default) or through a serving engine that
+// caches artifacts and pools machines.
+type Runner interface {
+	BuildArtifact(source string, mode Mode, opts Options) (*Artifact, error)
+	RunArtifact(art *Artifact) (*RunResult, error)
+}
+
+// directRunner is the Runner Compare uses: no caching, fresh machines.
+type directRunner struct{}
+
+func (directRunner) BuildArtifact(source string, mode Mode, opts Options) (*Artifact, error) {
+	return Build(source, mode, opts)
+}
+
+func (directRunner) RunArtifact(art *Artifact) (*RunResult, error) { return art.Run() }
+
 // Compare builds and runs source under all three modes and checks that
 // the three executions produce identical program output (they must, for a
 // bound-respecting program).
 func Compare(name, source string, opts Options) (*Comparison, error) {
+	return CompareUsing(directRunner{}, name, source, opts)
+}
+
+// CompareUsing is Compare with the build/run steps delegated to r.
+func CompareUsing(r Runner, name, source string, opts Options) (*Comparison, error) {
 	cmp := &Comparison{Name: name}
 	for _, mode := range []Mode{ModeGCC, ModeBCC, ModeCash} {
-		art, err := Build(source, mode, opts)
+		art, err := r.BuildArtifact(source, mode, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s [%v]: %w", name, mode, err)
 		}
-		res, err := art.Run()
+		res, err := r.RunArtifact(art)
 		if err != nil {
 			return nil, fmt.Errorf("%s [%v]: run: %w", name, mode, err)
 		}

@@ -157,6 +157,34 @@ func NewManager(table *x86seg.DescriptorTable) *Manager {
 // LDT returns the kernel descriptor table the manager controls.
 func (m *Manager) LDT() *x86seg.DescriptorTable { return m.ldt }
 
+// Reset returns the manager to its NewManager(table) state in place,
+// reusing the free-list backing array: all entries free, empty cache, no
+// gate, no reservations, zero stats and cycles, audit off, no trace.
+// The caller must have emptied (or be about to Reset) the kernel table
+// itself. Safe with respect to PublishMetrics bookkeeping: the published
+// baselines are zeroed in lockstep with the live counters, which is
+// correct because the VM publishes at every run boundary, so by reset
+// time everything accumulated has already been pushed to the registry.
+func (m *Manager) Reset(table *x86seg.DescriptorTable) {
+	m.ldt = table
+	m.freeList = m.freeList[:0]
+	for i := UsableEntries; i >= 1; i-- {
+		m.freeList = append(m.freeList, i)
+	}
+	m.cache = m.cache[:0]
+	m.reserved = nil
+	m.gate = false
+	m.live = 0
+	m.cycles = 0
+	m.stats = Stats{}
+	m.gateCycles, m.ldtCycles = 0, 0
+	m.pubStats = Stats{}
+	m.pubGateCycles, m.pubLDTCycles = 0, 0
+	m.tr = nil
+	m.audit = false
+	m.liveSet = nil
+}
+
 // InstallCallGate performs the set_ldt_callgate system call: it installs
 // the cash_modify_ldt call gate in LDT entry 0 and pays the per-program
 // set-up cost. It is idempotent.

@@ -37,7 +37,33 @@ type Memory struct {
 	hi4    uint32
 	hi2    uint32
 
+	// Dirty watermarks bound the spans Reset must zero. The lo arena is
+	// written from the bottom up (code, data, heap), so one high-water
+	// mark — the end of the highest write — covers it. The hi arena is a
+	// stack growing down from the arena top, so a low-water mark — the
+	// offset of the lowest write — covers [loMark, len(hi)). Every write
+	// fast path is fully inside one arena, so the marks are exact, not
+	// conservative.
+	loDirty uint32 // lo[:loDirty] may be nonzero
+	hiDirty uint32 // hi[hiDirty:] may be nonzero
+
 	pages map[uint32]*[PageSize]byte
+}
+
+// Geometry identifies the arena layout of a dense memory: two Memory
+// values with equal Geometry are interchangeable as machine backing
+// stores (after Reset). The zero Geometry is a purely sparse memory.
+type Geometry struct {
+	LoSize uint32
+	HiBase uint32
+	HiSize uint32
+}
+
+// Geometry returns the arena layout this memory was built with. HiBase
+// is the page-truncated base actually in use, so feeding the result back
+// through NewDense reproduces an identical layout.
+func (m *Memory) Geometry() Geometry {
+	return Geometry{LoSize: uint32(len(m.lo)), HiBase: m.hiBase, HiSize: uint32(len(m.hi))}
 }
 
 // New returns an empty, purely sparse physical memory.
@@ -60,6 +86,7 @@ func NewDense(loSize uint32, hiBase, hiSize uint32) *Memory {
 		m.hiBase = hiBase &^ (PageSize - 1)
 		m.recompute()
 	}
+	m.hiDirty = uint32(len(m.hi))
 	return m
 }
 
@@ -117,10 +144,16 @@ func (m *Memory) Read8(addr uint32) uint8 {
 func (m *Memory) Write8(addr uint32, v uint8) {
 	if addr < uint32(len(m.lo)) {
 		m.lo[addr] = v
+		if addr >= m.loDirty {
+			m.loDirty = addr + 1
+		}
 		return
 	}
 	if d := addr - m.hiBase; d < uint32(len(m.hi)) {
 		m.hi[d] = v
+		if d < m.hiDirty {
+			m.hiDirty = d
+		}
 		return
 	}
 	m.page(addr, true)[addr%PageSize] = v
@@ -142,10 +175,16 @@ func (m *Memory) Read16(addr uint32) uint16 {
 func (m *Memory) Write16(addr uint32, v uint16) {
 	if addr < m.lo2 {
 		binary.LittleEndian.PutUint16(m.lo[addr:], v)
+		if addr+2 > m.loDirty {
+			m.loDirty = addr + 2
+		}
 		return
 	}
 	if d := addr - m.hiBase; d < m.hi2 {
 		binary.LittleEndian.PutUint16(m.hi[d:], v)
+		if d < m.hiDirty {
+			m.hiDirty = d
+		}
 		return
 	}
 	m.Write8(addr, uint8(v))
@@ -184,10 +223,16 @@ func (m *Memory) read32Slow(addr uint32) uint32 {
 func (m *Memory) Write32(addr uint32, v uint32) {
 	if addr < m.lo4 {
 		binary.LittleEndian.PutUint32(m.lo[addr:], v)
+		if addr+4 > m.loDirty {
+			m.loDirty = addr + 4
+		}
 		return
 	}
 	if d := addr - m.hiBase; d < m.hi4 {
 		binary.LittleEndian.PutUint32(m.hi[d:], v)
+		if d < m.hiDirty {
+			m.hiDirty = d
+		}
 		return
 	}
 	m.write32Slow(addr, v)
@@ -244,14 +289,18 @@ func (m *Memory) PagesAllocated() int {
 	return len(m.pages)
 }
 
-// Reset returns the memory to all-zero, dropping sparse pages and
-// re-zeroing any arenas.
+// Reset returns the memory to all-zero in place: sparse pages are
+// dropped (the map's buckets are kept for reuse) and each arena is
+// zeroed only up to its dirty watermark, so recycling a machine costs
+// proportional to the bytes it actually wrote, not the arena sizes.
 func (m *Memory) Reset() {
-	m.pages = make(map[uint32]*[PageSize]byte)
-	if m.lo != nil {
-		m.lo = make([]byte, len(m.lo))
+	clear(m.pages)
+	if m.loDirty > 0 {
+		clear(m.lo[:m.loDirty])
+		m.loDirty = 0
 	}
-	if m.hi != nil {
-		m.hi = make([]byte, len(m.hi))
+	if d := m.hiDirty; d < uint32(len(m.hi)) {
+		clear(m.hi[d:])
+		m.hiDirty = uint32(len(m.hi))
 	}
 }

@@ -13,12 +13,13 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"cash/internal/core"
-	"cash/internal/par"
+	"cash/internal/serve"
 	"cash/internal/workload"
 )
 
@@ -58,8 +59,17 @@ type AppReport struct {
 }
 
 // Measure runs one network application under GCC, Cash and BCC and
-// computes the Table 8 quantities.
+// computes the Table 8 quantities, through the process-default serving
+// engine.
 func Measure(w workload.Workload, requests int, opts core.Options) (*AppReport, error) {
+	return MeasureContext(context.Background(), serve.Default(), w, requests, opts)
+}
+
+// MeasureContext is Measure through an explicit Engine: builds are
+// served from the artifact cache, handler executions from pooled
+// machines and the run cache, and ctx cancels between (and inside)
+// runs.
+func MeasureContext(ctx context.Context, eng *serve.Engine, w workload.Workload, requests int, opts core.Options) (*AppReport, error) {
 	if w.Category != workload.CategoryNetwork {
 		return nil, fmt.Errorf("netsim: %s is not a network workload", w.Name)
 	}
@@ -69,13 +79,13 @@ func Measure(w workload.Workload, requests int, opts core.Options) (*AppReport, 
 	rep := &AppReport{Name: w.Name, Paper: w.Paper, Requests: requests}
 	lib := workload.LibCorpus()
 	for _, mode := range []core.Mode{core.ModeGCC, core.ModeCash, core.ModeBCC} {
-		nums, err := measureMode(w, mode, requests, opts)
+		nums, err := measureMode(ctx, eng, w, mode, requests, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s [%v]: %w", w.Name, mode, err)
 		}
 		// Space overhead compares statically linked binaries (§4.4): the
 		// per-mode recompiled library text is part of every server.
-		libArt, err := core.Build(lib.Source, mode, opts)
+		libArt, err := eng.BuildContext(ctx, lib.Source, mode, opts)
 		if err != nil {
 			return nil, fmt.Errorf("libc corpus [%v]: %w", mode, err)
 		}
@@ -97,12 +107,12 @@ func Measure(w workload.Workload, requests int, opts core.Options) (*AppReport, 
 	return rep, nil
 }
 
-func measureMode(w workload.Workload, mode core.Mode, requests int, opts core.Options) (ModeNumbers, error) {
-	art, err := core.Build(w.Source, mode, opts)
+func measureMode(ctx context.Context, eng *serve.Engine, w workload.Workload, mode core.Mode, requests int, opts core.Options) (ModeNumbers, error) {
+	art, err := eng.BuildContext(ctx, w.Source, mode, opts)
 	if err != nil {
 		return ModeNumbers{}, err
 	}
-	res, err := art.Run()
+	res, err := eng.RunContext(ctx, art)
 	if err != nil {
 		return ModeNumbers{}, err
 	}
@@ -131,16 +141,23 @@ func pctIncrease(v, base float64) float64 {
 	return (v - base) / base * 100
 }
 
-// MeasureAll runs every network application. Applications are measured
-// independently: when some fail, the returned slice still carries every
-// completed report (failed applications stay nil) alongside an error
-// joining all per-application failures, so one bad app no longer
-// discards the rows that did complete.
+// MeasureAll runs every network application through the process-default
+// engine. Applications are measured independently: when some fail, the
+// returned slice still carries every completed report (failed
+// applications stay nil) alongside an error joining all per-application
+// failures, so one bad app no longer discards the rows that did
+// complete.
 func MeasureAll(requests int, opts core.Options) ([]*AppReport, error) {
+	return MeasureAllContext(context.Background(), serve.Default(), requests, opts)
+}
+
+// MeasureAllContext is MeasureAll through an explicit Engine, fanned
+// out with the Engine's worker budget.
+func MeasureAllContext(ctx context.Context, eng *serve.Engine, requests int, opts core.Options) ([]*AppReport, error) {
 	apps := workload.NetworkApps()
 	out := make([]*AppReport, len(apps))
-	errs := par.DoCollect(len(apps), func(i int) error {
-		rep, err := Measure(apps[i], requests, opts)
+	errs := eng.DoCollect(len(apps), func(i int) error {
+		rep, err := MeasureContext(ctx, eng, apps[i], requests, opts)
 		if err != nil {
 			return err
 		}

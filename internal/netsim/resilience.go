@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -9,7 +10,7 @@ import (
 	"cash/internal/ldt"
 	"cash/internal/minic"
 	"cash/internal/obs"
-	"cash/internal/par"
+	"cash/internal/serve"
 	"cash/internal/vm"
 	"cash/internal/workload"
 )
@@ -179,13 +180,18 @@ type cleanRun struct {
 
 // runClean executes the artifact once with no injection and caches the
 // quantities every subsequent clean request reuses (the machine is
-// deterministic, so one execution is exact for all of them).
-func runClean(art *core.Artifact, budget uint64) (*cleanRun, error) {
-	m, err := art.NewMachine(vm.WithStepLimit(budget))
+// deterministic, so one execution is exact for all of them). It runs
+// the machine directly — not through the Engine's run cache — so the
+// core.runs accounting counts this execution exactly once, and recycles
+// the machine's parts through the server's local pool.
+func runClean(art *core.Artifact, budget uint64, pool *serve.LocalPool) (*cleanRun, error) {
+	opts := append(pool.Options(art.Program), vm.WithStepLimit(budget))
+	m, err := art.NewMachine(opts...)
 	if err != nil {
 		return nil, err
 	}
 	res, runErr := m.Run()
+	pool.Put(m)
 	cr := &cleanRun{cycles: res.Cycles, instrs: res.Stats.Instructions, output: res.Output}
 	if runErr != nil {
 		var f *vm.Fault
@@ -219,8 +225,9 @@ type modeServer struct {
 	window      []bool // ring of recent outcome.bad() flags
 	windowBad   int
 	mr          *ModeResilience
-	lat         *obs.Histogram // served-request latencies, in cycles
-	tr          *obs.Trace     // resilience decision trace (nil when off)
+	lat         *obs.Histogram   // served-request latencies, in cycles
+	tr          *obs.Trace       // resilience decision trace (nil when off)
+	pool        *serve.LocalPool // per-server machine recycler (nil = pooling off)
 	shedArmed   bool
 	sinceDegron int // requests since entering degraded mode, for probing
 }
@@ -321,17 +328,19 @@ func (s *modeServer) record(o requestOutcome, latency uint64, injected bool) {
 // handler: no per-array segments, hence no LDT pressure) and its clean
 // run. Only Cash mode degrades; the flat server is the GCC-compiled
 // handler, which is exactly what §3.4's flat-segment fallback executes.
-func (s *modeServer) ensureFlat(source string, opts core.Options) {
+// The build goes through the Engine, so it is a cache hit whenever the
+// GCC mode server already compiled the same source.
+func (s *modeServer) ensureFlat(ctx context.Context, eng *serve.Engine, source string, opts core.Options) {
 	if s.flatClean != nil || s.flatErr != nil {
 		return
 	}
-	art, err := core.Build(source, core.ModeGCC, opts)
+	art, err := eng.BuildContext(ctx, source, core.ModeGCC, opts)
 	if err != nil {
 		s.flatErr = err
 		return
 	}
 	s.flatArt = art
-	cr, err := runClean(art, s.budget)
+	cr, err := runClean(art, s.budget, s.pool)
 	if err != nil {
 		s.flatErr = err
 		return
@@ -357,11 +366,19 @@ func (s *modeServer) serveInjected(req int, inj chaos.Injection) (requestOutcome
 			// served by the flat handler.
 			return outcomeDegraded, s.flatClean.cycles + backoff
 		}
-		m, err := s.art.NewMachine(opts...)
+		m, err := s.art.NewMachine(append(s.pool.Options(s.art.Program), opts...)...)
 		if err != nil {
 			return outcomeDetected, 0
 		}
 		res, runErr := m.Run()
+		// The machine's last use is the post-run invariant check; after it
+		// the parts go back to the local pool no matter how the run ended
+		// (reset-on-reuse erases any injected damage).
+		var invErr error
+		if runErr == nil {
+			invErr = m.LDTManager().CheckInvariants()
+		}
+		s.pool.Put(m)
 		latency := res.Cycles + backoff
 		if runErr != nil {
 			var f *vm.Fault
@@ -397,9 +414,10 @@ func (s *modeServer) serveInjected(req int, inj chaos.Injection) (requestOutcome
 				return outcomeDetected, latency
 			}
 		}
-		// The handler completed. Corruption may still be latent: run the
-		// invariant checker over the descriptor table and shadow state.
-		if err := m.LDTManager().CheckInvariants(); err != nil {
+		// The handler completed. Corruption may still be latent: the
+		// invariant checker ran over the descriptor table and shadow state
+		// before the parts were recycled.
+		if invErr != nil {
 			s.mr.CheckerViolations++
 			return outcomeDetected, latency
 		}
@@ -514,8 +532,8 @@ func publishResilience(mr *ModeResilience, lat *obs.Histogram) {
 
 // measureModeResilience runs the resilient serving loop for one
 // application and mode.
-func measureModeResilience(w workload.Workload, mode core.Mode, requests int, opts core.Options, plan *chaos.Plan) (ModeResilience, error) {
-	art, err := core.Build(w.Source, mode, opts)
+func measureModeResilience(ctx context.Context, eng *serve.Engine, w workload.Workload, mode core.Mode, requests int, opts core.Options, plan *chaos.Plan) (ModeResilience, error) {
+	art, err := eng.BuildContext(ctx, w.Source, mode, opts)
 	if err != nil {
 		return ModeResilience{}, err
 	}
@@ -523,7 +541,8 @@ func measureModeResilience(w workload.Workload, mode core.Mode, requests int, op
 	if budget == 0 {
 		budget = DefaultCleanBudget
 	}
-	clean, err := runClean(art, budget)
+	pool := eng.NewLocalPool()
+	clean, err := runClean(art, budget, pool)
 	if err != nil {
 		return ModeResilience{}, err
 	}
@@ -536,7 +555,8 @@ func measureModeResilience(w workload.Workload, mode core.Mode, requests int, op
 		clean:  clean,
 		mr:     &mr,
 		lat:    obs.NewCycleHistogram(),
-		tr:     obs.DefaultTrace(),
+		tr:     eng.EventTrace(),
+		pool:   pool,
 	}
 	if mode == core.ModeCash {
 		s.sites = chaos.AllSites()
@@ -549,9 +569,12 @@ func measureModeResilience(w workload.Workload, mode core.Mode, requests int, op
 	if mode == core.ModeCash && plan.Enabled() {
 		// Degradation needs the flat handler; build it up front so the
 		// serving loop never hits a build error mid-run.
-		s.ensureFlat(w.Source, opts)
+		s.ensureFlat(ctx, eng, w.Source, opts)
 	}
 	for i := 0; i < requests; i++ {
+		if err := ctx.Err(); err != nil {
+			return ModeResilience{}, err
+		}
 		s.serve(i)
 	}
 	// Nearest-rank quantiles from the shared histogram. The population is
@@ -568,8 +591,17 @@ func measureModeResilience(w workload.Workload, mode core.Mode, requests int, op
 // MeasureResilience runs one network application's resilient server
 // under all three compiler modes against the given chaos plan. Build
 // failures are errors; injected faults never are — they surface only in
-// the report's accounting.
+// the report's accounting. It uses a fresh, private Engine so the
+// published serve.* and core.builds.* deltas are a pure function of
+// (w, requests, opts, plan) — independent of whatever an earlier table
+// left in a shared cache (the metrics goldens pin this).
 func MeasureResilience(w workload.Workload, requests int, opts core.Options, plan *chaos.Plan) (*ResilienceReport, error) {
+	return MeasureResilienceContext(context.Background(), serve.NewEngine(serve.EngineConfig{}), w, requests, opts, plan)
+}
+
+// MeasureResilienceContext is MeasureResilience through an explicit
+// Engine.
+func MeasureResilienceContext(ctx context.Context, eng *serve.Engine, w workload.Workload, requests int, opts core.Options, plan *chaos.Plan) (*ResilienceReport, error) {
 	if w.Category != workload.CategoryNetwork {
 		return nil, fmt.Errorf("netsim: %s is not a network workload", w.Name)
 	}
@@ -578,7 +610,7 @@ func MeasureResilience(w workload.Workload, requests int, opts core.Options, pla
 	}
 	rep := &ResilienceReport{Name: w.Name, Paper: w.Paper, Requests: requests}
 	for i, mode := range []core.Mode{core.ModeGCC, core.ModeCash, core.ModeBCC} {
-		mr, err := measureModeResilience(w, mode, requests, opts, plan)
+		mr, err := measureModeResilience(ctx, eng, w, mode, requests, opts, plan)
 		if err != nil {
 			return nil, fmt.Errorf("%s [%v]: %w", w.Name, mode, err)
 		}
@@ -587,14 +619,21 @@ func MeasureResilience(w workload.Workload, requests int, opts core.Options, pla
 	return rep, nil
 }
 
-// MeasureAllResilience runs every network application against the plan.
+// MeasureAllResilience runs every network application against the plan
+// on one fresh, private Engine (see MeasureResilience for why fresh).
 // Like MeasureAll it returns partial results: failed applications stay
 // nil in the slice and their errors are joined.
 func MeasureAllResilience(requests int, opts core.Options, plan *chaos.Plan) ([]*ResilienceReport, error) {
+	return MeasureAllResilienceContext(context.Background(), serve.NewEngine(serve.EngineConfig{}), requests, opts, plan)
+}
+
+// MeasureAllResilienceContext is MeasureAllResilience through an
+// explicit Engine, fanned out with the Engine's worker budget.
+func MeasureAllResilienceContext(ctx context.Context, eng *serve.Engine, requests int, opts core.Options, plan *chaos.Plan) ([]*ResilienceReport, error) {
 	apps := workload.NetworkApps()
 	out := make([]*ResilienceReport, len(apps))
-	errs := par.DoCollect(len(apps), func(i int) error {
-		rep, err := MeasureResilience(apps[i], requests, opts, plan)
+	errs := eng.DoCollect(len(apps), func(i int) error {
+		rep, err := MeasureResilienceContext(ctx, eng, apps[i], requests, opts, plan)
 		if err != nil {
 			return err
 		}

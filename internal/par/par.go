@@ -44,10 +44,17 @@ func Parallelism() int { return int(parallelism.Load()) }
 // need every index's side effects, or every error rather than just the
 // lowest, must use DoCollect.
 func Do(n int, f func(i int) error) error {
+	return DoN(Parallelism(), n, f)
+}
+
+// DoN is Do with an explicit worker budget instead of the process-wide
+// one. The serving engine uses it to give each Engine its own
+// parallelism, independent of the deprecated global knob.
+func DoN(budget, n int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	if Parallelism() <= 1 || n == 1 {
+	if budget <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			if err := f(i); err != nil {
 				return err
@@ -55,7 +62,7 @@ func Do(n int, f func(i int) error) error {
 		}
 		return nil
 	}
-	for _, err := range DoCollect(n, f) {
+	for _, err := range DoCollectN(budget, n, f) {
 		if err != nil {
 			return err
 		}
@@ -68,11 +75,16 @@ func Do(n int, f func(i int) error) error {
 // success). Callers that need partial results alongside a joined error —
 // the resilient measurement paths — use this instead of Do.
 func DoCollect(n int, f func(i int) error) []error {
+	return DoCollectN(Parallelism(), n, f)
+}
+
+// DoCollectN is DoCollect with an explicit worker budget.
+func DoCollectN(budget, n int, f func(i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
 	errs := make([]error, n)
-	p := Parallelism()
+	p := budget
 	if p > n {
 		p = n
 	}

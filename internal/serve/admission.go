@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// admission bounds concurrently admitted requests with a FIFO waiter
+// queue. Released slots are handed directly to the head waiter (no
+// thundering herd, no barging past the queue); a waiter whose context
+// is canceled removes itself, or — when the grant raced the cancel —
+// passes the slot straight on.
+type admission struct {
+	mu       sync.Mutex
+	inflight int
+	waiters  list.List // of *waiter
+}
+
+type waiter struct {
+	ch      chan struct{}
+	granted bool // written under admission.mu before ch closes
+}
+
+// acquire takes a request slot, blocking in FIFO order when limit
+// slots are in flight. It returns ctx.Err() if the context is canceled
+// first.
+func (e *Engine) acquire(ctx context.Context) error {
+	limit := e.limit()
+	a := &e.adm
+	a.mu.Lock()
+	if a.inflight < limit && a.waiters.Len() == 0 {
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	w := &waiter{ch: make(chan struct{})}
+	el := a.waiters.PushBack(w)
+	a.mu.Unlock()
+	mAdmWaits.Inc()
+	select {
+	case <-w.ch:
+		// The releaser handed its slot over; inflight already counts it.
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		granted := w.granted
+		if !granted {
+			a.waiters.Remove(el)
+		}
+		a.mu.Unlock()
+		if granted {
+			// The grant raced the cancel: we own a slot we will not use.
+			e.release()
+		}
+		mAdmCanceled.Inc()
+		return ctx.Err()
+	}
+}
+
+// release frees a request slot: handed to the head waiter if one is
+// queued, otherwise returned to the free count.
+func (e *Engine) release() {
+	a := &e.adm
+	a.mu.Lock()
+	if el := a.waiters.Front(); el != nil {
+		w := a.waiters.Remove(el).(*waiter)
+		w.granted = true
+		close(w.ch)
+		a.mu.Unlock()
+		return
+	}
+	a.inflight--
+	a.mu.Unlock()
+}

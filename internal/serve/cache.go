@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"cash/internal/core"
+)
+
+// buildKey derives the content address of an artifact: a SHA-256 over
+// the source text, the compiler mode, and every semantic build option.
+// Options.EventTrace is deliberately excluded (the caller nils it
+// first): a trace changes what is observed, never what is built, so
+// traced and untraced requests share one compiled artifact.
+func buildKey(source string, mode core.Mode, opts core.Options) string {
+	h := sha256.New()
+	var fixed [32]byte
+	binary.LittleEndian.PutUint32(fixed[0:], uint32(mode))
+	binary.LittleEndian.PutUint32(fixed[4:], uint32(opts.SegRegs))
+	if opts.SkipReadChecks {
+		fixed[8] = 1
+	}
+	if opts.UseBoundInstr {
+		fixed[9] = 1
+	}
+	if opts.WithoutCallGate {
+		fixed[10] = 1
+	}
+	if opts.ElectricFence {
+		fixed[11] = 1
+	}
+	binary.LittleEndian.PutUint64(fixed[16:], opts.StepLimit)
+	binary.LittleEndian.PutUint64(fixed[24:], uint64(len(source)))
+	h.Write(fixed[:])
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entry is one cached value: an artifact ("a:"-prefixed key) or a run
+// result ("r:"-prefixed key). Both kinds share the single LRU list and
+// byte budget.
+type entry struct {
+	key  string
+	size int64
+
+	art *core.Artifact
+
+	res    *core.RunResult
+	runErr error
+}
+
+// flight is one in-progress build that concurrent identical requests
+// coalesce onto.
+type flight struct {
+	done chan struct{}
+	art  *core.Artifact
+	err  error
+}
+
+// cache is the Engine's content-addressed store: artifacts and run
+// results in one size-bounded LRU, plus the singleflight table.
+type cache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	lru     *list.List // of *entry; front = most recently used
+	entries map[string]*list.Element
+	// artKeys maps canonical cached artifacts back to their build key,
+	// enabling the run-result cache. Trace-bearing clones are absent by
+	// construction, so their runs are never memoised.
+	artKeys map[*core.Artifact]string
+	flights map[string]*flight
+}
+
+func newCache(budget int64) *cache {
+	return &cache{
+		budget:  budget,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		artKeys: make(map[*core.Artifact]string),
+		flights: make(map[string]*flight),
+	}
+}
+
+// getArtifact returns the cached artifact for a build key.
+func (c *cache) getArtifact(key string) (*core.Artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries["a:"+key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).art, true
+}
+
+// startFlight joins or starts the singleflight for key. The second
+// return is true for the leader — the caller that must compile and then
+// finishFlight; false means wait on the returned flight's done channel.
+func (c *cache) startFlight(key string) (*flight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// finishFlight records the leader's build outcome, inserts a successful
+// artifact into the cache, and releases every waiter.
+func (c *cache) finishFlight(key string, f *flight, art *core.Artifact, err error) {
+	f.art, f.err = art, err
+	c.mu.Lock()
+	delete(c.flights, key)
+	if err == nil {
+		c.insert("a:"+key, &entry{art: art, size: artifactSize(art)})
+		c.artKeys[art] = key
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// runKey returns the run-cache key for an artifact and whether its runs
+// are memoisable (only canonical cached artifacts are; trace-bearing
+// clones and uncached artifacts run for real every time).
+func (c *cache) runKey(art *core.Artifact) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key, ok := c.artKeys[art]
+	return key, ok
+}
+
+// getRun returns the memoised run outcome for a run key. The result is
+// a fresh deep copy per call, so callers may mutate what they receive.
+func (c *cache) getRun(key string) (*core.RunResult, error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries["r:"+key]
+	if !ok {
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(el)
+	ent := el.Value.(*entry)
+	return cloneRunResult(ent.res), ent.runErr, true
+}
+
+// putRun memoises a run outcome (result, error, or both). The stored
+// result is a deep copy, insulating the cache from caller mutation.
+func (c *cache) putRun(key string, res *core.RunResult, runErr error) {
+	ent := &entry{res: cloneRunResult(res), runErr: runErr, size: runResultSize(res)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries["r:"+key]; ok {
+		return // a concurrent identical run got there first
+	}
+	c.insert("r:"+key, ent)
+}
+
+// insert adds an entry under c.mu and evicts from the LRU tail until
+// the byte budget holds. The newest entry always stays, even when it
+// alone exceeds the budget — an over-budget singleton is more useful
+// than an empty cache that recompiles forever.
+func (c *cache) insert(fullKey string, ent *entry) {
+	ent.key = fullKey
+	c.entries[fullKey] = c.lru.PushFront(ent)
+	c.bytes += ent.size
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		victim := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.entries, victim.key)
+		if victim.art != nil {
+			delete(c.artKeys, victim.art)
+		}
+		c.bytes -= victim.size
+		mCacheEvictions.Inc()
+	}
+	gCacheBytes.Set(c.bytes)
+}
+
+// artifactSize estimates an artifact's retained bytes for the cache
+// budget: the predecoded program dominates, at roughly one exec closure
+// plus cost/note bytes per instruction, plus the data image and AST.
+func artifactSize(art *core.Artifact) int64 {
+	p := art.Program
+	return int64(len(p.Instrs))*96 + int64(len(p.Data)) + 4096
+}
+
+// runResultSize estimates a memoised run result's retained bytes.
+func runResultSize(res *core.RunResult) int64 {
+	if res == nil || res.Result == nil {
+		return 256
+	}
+	return int64(len(res.Output))*4 + 512
+}
+
+// cloneRunResult deep-copies a run result so cached state and caller
+// state can never alias. The *vm.Fault violation is shared: faults are
+// immutable once returned.
+func cloneRunResult(res *core.RunResult) *core.RunResult {
+	if res == nil {
+		return nil
+	}
+	out := *res
+	if res.Result != nil {
+		r := *res.Result
+		r.Output = append([]int32(nil), res.Result.Output...)
+		out.Result = &r
+	}
+	return &out
+}

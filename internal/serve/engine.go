@@ -1,0 +1,341 @@
+// Package serve is the serving runtime of the reproduction: an Engine
+// that owns every piece of cross-request state the per-call API
+// (core.Build, Artifact.Run) rebuilds from scratch — a content-addressed
+// artifact cache with singleflight build deduplication, a pool of
+// recyclable machine parts (memory arenas, MMU descriptor tables, LDT
+// manager free lists), and admission control bounding concurrent
+// requests. The paper amortizes Cash's fixed costs (§4.1 per-program and
+// per-array setup) across many references; the Engine amortizes the
+// host-side analogues — compilation and arena allocation — across many
+// requests.
+//
+// Everything the Engine does is observable through the shared
+// internal/obs registry (serve.cache.*, serve.build.*, serve.pool.*,
+// serve.admission.*) and none of it changes any simulated number: a
+// cache-hit artifact is the same artifact, a recycled machine is reset
+// to exactly the fresh-build state (pinned by equivalence tests), and
+// results served from the run cache are deep copies of a real run's
+// result.
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"cash/internal/core"
+	"cash/internal/obs"
+	"cash/internal/par"
+	"cash/internal/vm"
+)
+
+// Engine-level metrics in the shared observability registry.
+var (
+	mCacheHits      = obs.Default().Counter("serve.cache.hits")
+	mCacheMisses    = obs.Default().Counter("serve.cache.misses")
+	mCacheEvictions = obs.Default().Counter("serve.cache.evictions")
+	mCacheRunHits   = obs.Default().Counter("serve.cache.run_hits")
+	gCacheBytes     = obs.Default().Gauge("serve.cache.bytes")
+
+	mBuildCompiles  = obs.Default().Counter("serve.build.compiles")
+	mBuildCoalesced = obs.Default().Counter("serve.build.coalesced")
+
+	mPoolRecycled = obs.Default().Counter("serve.pool.recycled")
+	mPoolFresh    = obs.Default().Counter("serve.pool.fresh")
+	mPoolReturned = obs.Default().Counter("serve.pool.returned")
+	mPoolDropped  = obs.Default().Counter("serve.pool.dropped")
+
+	mAdmWaits    = obs.Default().Counter("serve.admission.waits")
+	mAdmCanceled = obs.Default().Counter("serve.admission.canceled")
+)
+
+// DefaultCacheBytes is the artifact/run cache budget when
+// EngineConfig.CacheBytes is zero.
+const DefaultCacheBytes = 64 << 20
+
+// DefaultPoolSize is the machine-parts pool capacity when
+// EngineConfig.PoolSize is zero.
+const DefaultPoolSize = 8
+
+// EngineConfig tunes an Engine. The zero value is a fully enabled
+// engine with default sizing that inherits the process-wide parallelism
+// and default event trace, so NewEngine(EngineConfig{}) behaves like the
+// pre-Engine API, only faster.
+type EngineConfig struct {
+	// CacheBytes bounds the artifact + run-result cache. 0 means
+	// DefaultCacheBytes; negative disables caching entirely.
+	CacheBytes int64
+	// PoolSize bounds how many machine part sets are kept for recycling.
+	// 0 means DefaultPoolSize; negative disables pooling.
+	PoolSize int
+	// MaxInFlight bounds concurrently admitted requests. 0 derives the
+	// bound from Parallelism.
+	MaxInFlight int
+	// Parallelism is the worker budget for this Engine's table fan-outs,
+	// replacing the deprecated process-wide bench.SetParallelism. 0
+	// inherits the global setting (dynamically — later SetParallelism
+	// calls are honored).
+	Parallelism int
+	// EventTrace receives the Engine's consumers' structured events
+	// (netsim serving decisions). Nil inherits the process default trace
+	// (obs.DefaultTrace), again dynamically.
+	EventTrace *obs.Trace
+}
+
+// Engine owns all cross-request serving state. Engines are safe for
+// concurrent use; create one per logical service (or use Default).
+type Engine struct {
+	cfg   EngineConfig
+	cache *cache
+	pool  *pool
+	adm   admission
+}
+
+// NewEngine returns an Engine for the given configuration.
+func NewEngine(cfg EngineConfig) *Engine {
+	e := &Engine{cfg: cfg}
+	if cfg.CacheBytes >= 0 {
+		budget := cfg.CacheBytes
+		if budget == 0 {
+			budget = DefaultCacheBytes
+		}
+		e.cache = newCache(budget)
+	}
+	if cfg.PoolSize >= 0 {
+		size := cfg.PoolSize
+		if size == 0 {
+			size = DefaultPoolSize
+		}
+		e.pool = newPool(size)
+	}
+	return e
+}
+
+var defaultEngine = NewEngine(EngineConfig{})
+
+// Default returns the process-wide Engine the compatibility wrappers
+// (cash.Build, bench.Table1, …) share.
+func Default() *Engine { return defaultEngine }
+
+// parallelism resolves this Engine's worker budget.
+func (e *Engine) parallelism() int {
+	if e.cfg.Parallelism > 0 {
+		return e.cfg.Parallelism
+	}
+	return par.Parallelism()
+}
+
+// limit resolves the admission bound.
+func (e *Engine) limit() int {
+	if e.cfg.MaxInFlight > 0 {
+		return e.cfg.MaxInFlight
+	}
+	if p := e.parallelism(); p > 1 {
+		return p
+	}
+	return 1
+}
+
+// workers is the fan-out budget for Do/DoCollect: capped at the
+// admission limit so the Engine's own fan-outs never queue against
+// themselves — internal waits would make the serve.admission.waits
+// counter scheduling-dependent.
+func (e *Engine) workers() int {
+	p := e.parallelism()
+	if l := e.limit(); l < p {
+		p = l
+	}
+	return p
+}
+
+// Do runs f(0) … f(n-1) with this Engine's worker budget (see par.Do
+// for the error contract).
+func (e *Engine) Do(n int, f func(i int) error) error {
+	return par.DoN(e.workers(), n, f)
+}
+
+// DoCollect runs every index to completion and returns the per-index
+// error slice (see par.DoCollect).
+func (e *Engine) DoCollect(n int, f func(i int) error) []error {
+	return par.DoCollectN(e.workers(), n, f)
+}
+
+// EventTrace resolves the trace the Engine's consumers should emit
+// into: the configured one, else the process default.
+func (e *Engine) EventTrace() *obs.Trace {
+	if e.cfg.EventTrace != nil {
+		return e.cfg.EventTrace
+	}
+	return obs.DefaultTrace()
+}
+
+// BuildContext returns the artifact for (source, mode, opts), serving
+// it from the content-addressed cache when possible. Concurrent misses
+// for the same key compile once (singleflight); waiters block on the
+// flight or ctx, whichever finishes first. The cache key excludes
+// opts.EventTrace — a requested trace is attached to a clone of the
+// cached artifact, and such clones bypass the run-result cache so their
+// events always fire.
+//
+// Logical-build accounting: cache hits and coalesced waiters still
+// count into core.builds.* (via core.NoteCachedBuild), so those
+// counters track build requests independent of cache state; the
+// physical compile count is serve.build.compiles.
+func (e *Engine) BuildContext(ctx context.Context, source string, mode core.Mode, opts core.Options) (*core.Artifact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.cache == nil {
+		return core.Build(source, mode, opts)
+	}
+	reqTrace := opts.EventTrace
+	opts.EventTrace = nil
+	key := buildKey(source, mode, opts)
+
+	if art, ok := e.cache.getArtifact(key); ok {
+		mCacheHits.Inc()
+		core.NoteCachedBuild(mode)
+		return withTrace(art, reqTrace), nil
+	}
+	f, leader := e.cache.startFlight(key)
+	if !leader {
+		mBuildCoalesced.Inc()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+		core.NoteCachedBuild(mode)
+		return withTrace(f.art, reqTrace), nil
+	}
+	mCacheMisses.Inc()
+	mBuildCompiles.Inc()
+	art, err := core.Build(source, mode, opts)
+	e.cache.finishFlight(key, f, art, err)
+	if err != nil {
+		return nil, err
+	}
+	return withTrace(art, reqTrace), nil
+}
+
+// withTrace attaches a requested event trace to a cached artifact.
+func withTrace(art *core.Artifact, tr *obs.Trace) *core.Artifact {
+	if tr == nil {
+		return art
+	}
+	return art.WithEventTrace(tr)
+}
+
+// NewMachine prepares a machine for the artifact, recycling pooled
+// parts when available. The returned release func hands the machine's
+// parts back to the pool; it is idempotent, but must not be called
+// before the machine's last use.
+func (e *Engine) NewMachine(art *core.Artifact, extra ...vm.Option) (*vm.Machine, func(), error) {
+	var opts []vm.Option
+	g := vm.GeometryFor(art.Program)
+	if e.pool != nil {
+		if parts, ok := e.pool.get(g); ok {
+			mPoolRecycled.Inc()
+			opts = []vm.Option{vm.WithParts(parts)}
+		} else {
+			mPoolFresh.Inc()
+		}
+	}
+	m, err := art.NewMachine(append(opts, extra...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	released := false
+	release := func() {
+		if released || e.pool == nil {
+			released = true
+			return
+		}
+		released = true
+		if e.pool.put(g, m.Parts()) {
+			mPoolReturned.Inc()
+		} else {
+			mPoolDropped.Inc()
+		}
+	}
+	return m, release, nil
+}
+
+// RunContext executes the artifact once, honoring ctx between simulated
+// basic blocks (a canceled ctx surfaces as ctx.Err, never as a *Fault).
+// Runs of canonical cached artifacts are memoised: a repeat run returns
+// a deep copy of the recorded result — including deterministic error
+// outcomes such as step-limit faults — without simulating. Trace-
+// bearing artifact clones and engines with caching disabled always run
+// for real. A request slot is held for the duration (admission
+// control).
+func (e *Engine) RunContext(ctx context.Context, art *core.Artifact) (*core.RunResult, error) {
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return e.runNoAdmission(ctx, art)
+}
+
+// runNoAdmission is RunContext minus the admission slot, for internal
+// callers that already hold one.
+func (e *Engine) runNoAdmission(ctx context.Context, art *core.Artifact) (*core.RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key, cacheable := "", false
+	if e.cache != nil {
+		key, cacheable = e.cache.runKey(art)
+	}
+	if cacheable {
+		if res, err, ok := e.cache.getRun(key); ok {
+			mCacheRunHits.Inc()
+			return res, err
+		}
+	}
+	m, release, err := e.NewMachine(art, vm.WithCancel(ctx))
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := art.RunOn(m)
+	release()
+	if f := (*vm.Fault)(nil); errors.As(runErr, &f) && f.Kind == vm.FaultCanceled {
+		return nil, ctx.Err()
+	}
+	if cacheable {
+		// Deterministic machine, deterministic outcome: errors (e.g. a
+		// runaway program's step-limit fault) are as cacheable as
+		// successes. Cancellation never reaches here.
+		e.cache.putRun(key, res, runErr)
+	}
+	return res, runErr
+}
+
+// engineRunner adapts the Engine to core.Runner for CompareContext.
+// The comparison holds one admission slot for its whole six-step
+// build/run sequence, so the internal steps never queue.
+type engineRunner struct {
+	ctx context.Context
+	e   *Engine
+}
+
+func (r engineRunner) BuildArtifact(source string, mode core.Mode, opts core.Options) (*core.Artifact, error) {
+	return r.e.BuildContext(r.ctx, source, mode, opts)
+}
+
+func (r engineRunner) RunArtifact(art *core.Artifact) (*core.RunResult, error) {
+	return r.e.runNoAdmission(r.ctx, art)
+}
+
+// CompareContext is core.Compare through the Engine: the three modes'
+// builds and runs are served from the caches and pooled machines, under
+// one admission slot.
+func (e *Engine) CompareContext(ctx context.Context, name, source string, opts core.Options) (*core.Comparison, error) {
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return core.CompareUsing(engineRunner{ctx: ctx, e: e}, name, source, opts)
+}

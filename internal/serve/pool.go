@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sync"
+
+	"cash/internal/mem"
+	"cash/internal/vm"
+)
+
+// pooledParts is one recyclable part set plus the memory geometry it
+// was built for: parts only fit programs with the same geometry.
+type pooledParts struct {
+	g mem.Geometry
+	p vm.Parts
+}
+
+// pool is the Engine's shared machine-parts pool. Reset-on-reuse
+// happens inside vm.New (WithParts), so everything handed out is
+// indistinguishable from freshly allocated state.
+type pool struct {
+	mu    sync.Mutex
+	parts []pooledParts
+	cap   int
+}
+
+func newPool(capacity int) *pool { return &pool{cap: capacity} }
+
+// get removes and returns parts matching g, newest first.
+func (p *pool) get(g mem.Geometry) (vm.Parts, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.parts) - 1; i >= 0; i-- {
+		if p.parts[i].g == g {
+			out := p.parts[i].p
+			p.parts = append(p.parts[:i], p.parts[i+1:]...)
+			return out, true
+		}
+	}
+	return vm.Parts{}, false
+}
+
+// put stores parts for recycling, dropping them when the pool is full.
+func (p *pool) put(g mem.Geometry, parts vm.Parts) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.parts) >= p.cap {
+		return false
+	}
+	p.parts = append(p.parts, pooledParts{g: g, p: parts})
+	return true
+}
+
+// LocalPool is a sequential single-slot machine recycler. The netsim
+// resilience path uses one per mode server: its take/put sequence is a
+// pure function of that server's request stream — it deliberately never
+// touches the Engine's shared pool, so no cross-server timing can leak
+// into the serve.pool.* counters it publishes (each server's counts are
+// fixed; registry adds commute, so totals are deterministic at any
+// fan-out budget). A nil LocalPool (pooling disabled) is a valid no-op.
+type LocalPool struct {
+	parts vm.Parts
+	has   bool
+	g     mem.Geometry
+}
+
+// NewLocalPool returns a fresh LocalPool, or nil when this Engine has
+// pooling disabled (all methods are nil-safe, so callers use the result
+// unconditionally).
+func (e *Engine) NewLocalPool() *LocalPool {
+	if e.pool == nil {
+		return nil
+	}
+	return &LocalPool{}
+}
+
+// Options returns the vm options that make the next machine recycle
+// this pool's parts, when the held set's geometry fits the program.
+// With nothing to recycle (or a nil pool) it returns nil and the
+// machine allocates fresh.
+func (p *LocalPool) Options(prog *vm.Program) []vm.Option {
+	if p == nil {
+		return nil
+	}
+	g := vm.GeometryFor(prog)
+	if p.has && p.g == g {
+		p.has = false
+		mPoolRecycled.Inc()
+		return []vm.Option{vm.WithParts(p.parts)}
+	}
+	mPoolFresh.Inc()
+	return nil
+}
+
+// Put takes the machine's parts for recycling into the local slot,
+// dropping them when the slot is occupied (a mismatched-geometry set is
+// parked there). Call only after the machine's last use; the parts are
+// reset on their next reuse.
+func (p *LocalPool) Put(m *vm.Machine) {
+	if p == nil || m == nil {
+		return
+	}
+	parts := m.Parts()
+	if !p.has {
+		p.parts, p.g, p.has = parts, parts.Mem.Geometry(), true
+		mPoolReturned.Inc()
+		return
+	}
+	mPoolDropped.Inc()
+}

@@ -20,6 +20,7 @@ var (
 	mFaultInvalid      = obs.Default().Counter("vm.faults.invalid")
 	mFaultStepLimit    = obs.Default().Counter("vm.faults.step_limit")
 	mFaultTransient    = obs.Default().Counter("vm.faults.transient")
+	mFaultCanceled     = obs.Default().Counter("vm.faults.canceled")
 	mFaultOther        = obs.Default().Counter("vm.faults.other")
 )
 
@@ -49,6 +50,8 @@ func countFault(k FaultKind) {
 		mFaultStepLimit.Inc()
 	case FaultTransient:
 		mFaultTransient.Inc()
+	case FaultCanceled:
+		mFaultCanceled.Inc()
 	default:
 		mFaultOther.Inc()
 	}

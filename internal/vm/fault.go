@@ -25,6 +25,9 @@ const (
 	// EAGAIN-style modify_ldt error); the operation is retryable on a
 	// fresh machine.
 	FaultTransient
+	// FaultCanceled means the run's context (WithCancel) was canceled;
+	// the serving layer maps it back to the context's error.
+	FaultCanceled
 )
 
 func (k FaultKind) String() string {
@@ -43,6 +46,8 @@ func (k FaultKind) String() string {
 		return "step limit exceeded"
 	case FaultTransient:
 		return "transient kernel failure"
+	case FaultCanceled:
+		return "run canceled"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 
 	"cash/internal/ldt"
@@ -154,6 +155,36 @@ func WithoutCallGate() Option {
 	return func(m *Machine) { m.noGate = true }
 }
 
+// WithCancel makes Run honor ctx: the machine polls ctx.Err() every
+// cancelStride instructions (between simulated basic blocks, folded into
+// the existing step-limit compare, so the per-instruction path is
+// unchanged) and stops with a FaultCanceled wrapping ctx.Err(). A nil
+// ctx is ignored.
+func WithCancel(ctx context.Context) Option {
+	return func(m *Machine) { m.ctx = ctx }
+}
+
+// Parts is the reusable allocation-heavy state of a machine: the dense
+// physical memory arenas, the MMU with its descriptor tables, and the
+// LDT manager with its 8191-entry free list. A serving layer recycles
+// Parts across runs via WithParts; everything else about a Machine is
+// cheap per-run state.
+type Parts struct {
+	Mem *mem.Memory
+	MMU *x86seg.MMU
+	LDT *ldt.Manager
+}
+
+// WithParts makes New reuse previously allocated machine parts instead
+// of allocating fresh ones, provided the memory geometry matches
+// GeometryFor(prog) (otherwise the parts are ignored and fresh state is
+// allocated). The parts are Reset to their pristine state first, so a
+// recycled machine is observationally identical to a fresh one — the
+// pool equivalence tests pin this.
+func WithParts(p Parts) Option {
+	return func(m *Machine) { m.reuse = p }
+}
+
 // Fault-injection mechanism options. Each implements one chaos Site
 // (internal/chaos); the netsim resilience harness composes them. They are
 // inert unless explicitly requested, so the standard benchmark paths are
@@ -239,6 +270,9 @@ type Machine struct {
 	heap      uint32
 	cycles    uint64
 	stepLimit uint64
+	ctx       context.Context // nil unless WithCancel
+	nextStop  uint64          // next instruction count to pause at (step limit or cancel poll)
+	reuse     Parts           // candidate recycled state from WithParts
 	noGate    bool
 	efence    bool
 	plain     bool            // no paging, no trace: memory fast path applies
@@ -276,8 +310,6 @@ func New(prog *Program, mode Mode, opts ...Option) (*Machine, error) {
 	m := &Machine{
 		prog:      prog,
 		mode:      mode,
-		memory:    denseMemoryFor(prog),
-		mmu:       x86seg.NewMMU(),
 		stepLimit: DefaultStepLimit,
 		heap:      prog.HeapBase,
 	}
@@ -285,7 +317,20 @@ func New(prog *Program, mode Mode, opts ...Option) (*Machine, error) {
 		o(m)
 	}
 	m.plain = m.pages == nil && m.trace == nil
-	m.ldtMgr = ldt.NewManager(m.mmu.LDT())
+	// Recycle pooled parts when their memory geometry matches this
+	// program; otherwise (or with no parts) allocate fresh. Reset before
+	// use makes a recycled machine indistinguishable from a fresh one.
+	if g := GeometryFor(prog); m.reuse.Mem != nil && m.reuse.MMU != nil &&
+		m.reuse.LDT != nil && m.reuse.Mem.Geometry() == g {
+		m.memory, m.mmu, m.ldtMgr = m.reuse.Mem, m.reuse.MMU, m.reuse.LDT
+		m.memory.Reset()
+		m.mmu.Reset()
+		m.ldtMgr.Reset(m.mmu.LDT())
+	} else {
+		m.memory = mem.NewDense(g.LoSize, g.HiBase, g.HiSize)
+		m.mmu = x86seg.NewMMU()
+		m.ldtMgr = ldt.NewManager(m.mmu.LDT())
+	}
 	m.ldtMgr.SetTrace(m.etrace)
 
 	flatCode, err := x86seg.NewDataDescriptor(0, 0xffffffff)
@@ -358,18 +403,29 @@ const (
 	stackArenaSize = 2 << 20
 )
 
-// denseMemoryFor builds the physical memory for a program: arena-backed
-// over the spans the program will actually touch, sparse everywhere else.
-func denseMemoryFor(prog *Program) *mem.Memory {
+// GeometryFor returns the arena layout a machine for prog uses:
+// arena-backed over the spans the program will actually touch, sparse
+// everywhere else. Pooled Parts are reusable for a program exactly when
+// their memory's Geometry equals GeometryFor(prog). HiBase is reported
+// page-truncated, matching what mem.NewDense actually installs.
+func GeometryFor(prog *Program) mem.Geometry {
 	loSize := uint32(loArenaSize)
 	if end := prog.HeapBase + (1 << 20); end > loSize && prog.HeapBase < (64<<20) {
 		loSize = end
 	}
 	hiBase, hiSize := uint32(0), uint32(0)
 	if prog.StackTop >= stackArenaSize && prog.StackTop-stackArenaSize >= loSize {
-		hiBase, hiSize = prog.StackTop-stackArenaSize, stackArenaSize
+		hiBase = (prog.StackTop - stackArenaSize) &^ (mem.PageSize - 1)
+		hiSize = stackArenaSize
 	}
-	return mem.NewDense(loSize, hiBase, hiSize)
+	return mem.Geometry{LoSize: loSize, HiBase: hiBase, HiSize: hiSize}
+}
+
+// Parts returns the machine's reusable allocation-heavy state, for a
+// pool to recycle into a future New via WithParts. The caller must not
+// hand out parts while the machine could still run.
+func (m *Machine) Parts() Parts {
+	return Parts{Mem: m.memory, MMU: m.mmu, LDT: m.ldtMgr}
 }
 
 // LDTManager exposes the machine's segment allocation manager.
@@ -416,9 +472,16 @@ func (m *Machine) fault(kind FaultKind, cause error) *Fault {
 	return &Fault{Kind: kind, IP: m.ip, Instr: instr, Cause: cause}
 }
 
+// cancelStride is how many instructions may execute between context
+// polls under WithCancel: ~60µs of simulated work at the harness's
+// typical host rate, so cancellation is prompt without putting a
+// context check on the per-instruction path.
+const cancelStride = 4096
+
 // Run executes the program from its entry point until HLT, exit, a fault,
-// or the step limit. On a detected bound violation the returned error is a
-// *Fault with IsBoundViolation() == true.
+// the step limit, or cancellation of the WithCancel context. On a
+// detected bound violation the returned error is a *Fault with
+// IsBoundViolation() == true.
 func (m *Machine) Run() (res *Result, err error) {
 	c := m.prog.compiledProgram()
 	n := len(c.exec)
@@ -441,9 +504,32 @@ func (m *Machine) Run() (res *Result, err error) {
 		}
 		m.ldtMgr.PublishMetrics()
 	}()
+	// nextStop folds cancellation polling into the step-limit compare:
+	// without a context it is the step limit itself; with one, the loop
+	// pauses every cancelStride instructions to poll ctx.Err().
+	m.nextStop = m.stepLimit
+	if m.ctx != nil {
+		if err := m.ctx.Err(); err != nil {
+			return m.result(), m.fault(FaultCanceled, err)
+		}
+		if s := m.stats.Instructions + cancelStride; s < m.nextStop {
+			m.nextStop = s
+		}
+	}
 	for !m.halted {
-		if m.stats.Instructions >= m.stepLimit {
-			return m.result(), m.fault(FaultStepLimit, nil)
+		if m.stats.Instructions >= m.nextStop {
+			if m.stats.Instructions >= m.stepLimit {
+				return m.result(), m.fault(FaultStepLimit, nil)
+			}
+			// nextStop < stepLimit implies a context is attached.
+			if err := m.ctx.Err(); err != nil {
+				return m.result(), m.fault(FaultCanceled, err)
+			}
+			if s := m.stats.Instructions + cancelStride; s < m.stepLimit {
+				m.nextStop = s
+			} else {
+				m.nextStop = m.stepLimit
+			}
 		}
 		ip := m.ip
 		if uint(ip) >= uint(n) {

@@ -63,6 +63,16 @@ func NewMMU() *MMU {
 // GDT returns the global descriptor table.
 func (m *MMU) GDT() *DescriptorTable { return m.gdt }
 
+// Reset returns the MMU to its NewMMU state in place: both tables are
+// emptied (the LDT reset applies to whatever table is currently
+// installed) and every segment register reverts to a null selector with
+// no cached descriptor.
+func (m *MMU) Reset() {
+	m.gdt.Reset()
+	m.ldt.Reset()
+	m.regs = [NumSegRegs]segRegister{}
+}
+
 // LDT returns the current local descriptor table.
 func (m *MMU) LDT() *DescriptorTable { return m.ldt }
 

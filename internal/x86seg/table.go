@@ -10,6 +10,7 @@ type DescriptorTable struct {
 	entries [TableEntries]Descriptor
 	valid   [TableEntries]bool
 	limit   int // highest valid index; -1 for an empty table
+	maxSet  int // high-water mark: 1 + highest index ever Set, bounds Reset
 }
 
 // NewTable returns an empty descriptor table with the full 8192-entry
@@ -41,6 +42,9 @@ func (t *DescriptorTable) Set(index int, d Descriptor) error {
 	}
 	t.entries[index] = d
 	t.valid[index] = true
+	if index >= t.maxSet {
+		t.maxSet = index + 1
+	}
 	return nil
 }
 
@@ -87,4 +91,15 @@ func (t *DescriptorTable) Count() int {
 		}
 	}
 	return n
+}
+
+// Reset empties the table in place and restores the full limit, exactly
+// as NewTable(name) would. Only the slots below the high-water mark are
+// cleared, so recycling a table costs proportional to how much of it was
+// ever used.
+func (t *DescriptorTable) Reset() {
+	clear(t.entries[:t.maxSet])
+	clear(t.valid[:t.maxSet])
+	t.maxSet = 0
+	t.limit = TableEntries - 1
 }
