@@ -46,6 +46,7 @@ import (
 
 	"cash/internal/bench"
 	"cash/internal/chaos"
+	"cash/internal/codegen"
 	"cash/internal/core"
 	"cash/internal/netsim"
 	"cash/internal/obs"
@@ -121,6 +122,16 @@ type ModeResilience = netsim.ModeResilience
 func Build(source string, mode Mode, opts Options) (*Artifact, error) {
 	return core.Build(source, mode, opts)
 }
+
+// PassNames lists the IR optimization passes Options.Passes accepts, in
+// execution order: "rce" (redundant-check elimination) and "hoist"
+// (loop-invariant check hoisting). With no passes the back end's output
+// is byte-identical to the historical direct emitter.
+func PassNames() []string { return codegen.PassNames() }
+
+// StatKeys lists every static codegen counter an Artifact's StaticStats
+// may carry, in the deterministic order tools print them.
+func StatKeys() []string { return codegen.StatKeys() }
 
 // Compare builds and runs source under GCC, BCC and Cash and reports
 // cycles, check counts and code sizes. It fails if the program output
@@ -372,6 +383,13 @@ type TableTiming = bench.Timing
 func AllTablesTimed(requests int) ([]*ResultTable, []TableTiming, error) {
 	return bench.AllTablesTimed(requests)
 }
+
+// SetBenchPasses configures the IR optimization passes every table
+// generator compiles with (see PassNames; nil restores the
+// exact-replication default of none). `cashbench -passes rce,hoist`
+// regenerates the whole suite under the optimizing back end; the
+// checked-in goldens pin both settings.
+func SetBenchPasses(passes []string) { bench.SetPasses(passes) }
 
 // SetParallelism bounds how many experiments the benchmark harness runs
 // concurrently (default: GOMAXPROCS). 1 forces sequential execution.

@@ -103,8 +103,19 @@ func run() (err error) {
 		repeat      = flag.Int("repeat", 1, "with -all, serve the suite this many times through one Engine (later passes must match pass 1)")
 		noCache     = flag.Bool("no-cache", false, "disable the Engine's artifact/run cache")
 		noPool      = flag.Bool("no-pool", false, "disable the Engine's machine pool")
+		passesFlag  = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist) applied to every experiment")
 	)
 	flag.Parse()
+
+	if *passesFlag != "" {
+		var passes []string
+		for _, p := range strings.Split(*passesFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				passes = append(passes, p)
+			}
+		}
+		cash.SetBenchPasses(passes)
+	}
 
 	// The deprecated global still steers code without an Engine in hand
 	// (and Engines built with a zero Parallelism, like the resilience

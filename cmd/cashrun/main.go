@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	cashrun [-mode gcc|bcc|cash] [-segregs N] [-compare] [-trace] file.c
+//	cashrun [-mode gcc|bcc|cash] [-segregs N] [-passes rce,hoist] [-compare] [-trace] file.c
 //	cashrun -workload toast -compare
+//
+// -passes enables IR optimization passes (-stats prints the static
+// codegen counters they affect; -dump-ir prints the optimized IR to
+// stderr before running).
 //
 // With -events the run records a structured machine-event trace —
 // segment-register loads, LDT descriptor installs and evictions,
@@ -23,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cash"
 )
@@ -51,6 +56,9 @@ func run() (err error) {
 		wlName   = flag.String("workload", "", "run a built-in workload instead of a file")
 		events   = flag.Bool("events", false, "record a machine-event trace and print it to stderr")
 		eventsJS = flag.String("events-json", "", "record a machine-event trace and write it to this file as JSON")
+		passes   = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist); empty disables")
+		dumpIR   = flag.Bool("dump-ir", false, "print the optimized IR to stderr before running")
+		stats    = flag.Bool("stats", false, "print static codegen counters after the run")
 	)
 	flag.Parse()
 
@@ -88,7 +96,7 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	opts := cash.Options{SegRegs: *segRegs, EventTrace: tr}
+	opts := cash.Options{SegRegs: *segRegs, EventTrace: tr, Passes: splitPasses(*passes)}
 
 	if *compare {
 		cmp, err := cash.Compare(name, source, opts)
@@ -114,6 +122,9 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+	if *dumpIR {
+		fmt.Fprint(os.Stderr, art.DumpIR())
+	}
 	res, err := art.Run()
 	if err != nil {
 		return err
@@ -123,6 +134,14 @@ func run() (err error) {
 	}
 	fmt.Printf("# mode=%s cycles=%d instructions=%d hw-checks=%d sw-checks=%d\n",
 		mode, res.Cycles, res.Stats.Instructions, res.Stats.HWChecks, res.Stats.SWChecks)
+	if *stats {
+		static := art.StaticStats()
+		for _, k := range cash.StatKeys() {
+			if v, ok := static[k]; ok {
+				fmt.Printf("# static %s=%d\n", k, v)
+			}
+		}
+	}
 	fmt.Printf("# segments: peak-live=%d allocs=%d cache-hits=%d kernel-entries=%d\n",
 		res.LDTStats.PeakLive, res.LDTStats.AllocRequests,
 		res.LDTStats.CacheHits, res.LDTStats.KernelCalls)
@@ -141,6 +160,19 @@ func format(v uint64) string {
 			out += ","
 		}
 		out += string(c)
+	}
+	return out
+}
+
+func splitPasses(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
 	}
 	return out
 }

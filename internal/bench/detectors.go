@@ -91,7 +91,7 @@ func detectorTable(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	results := make([]variantResult, len(vs))
 	err := eng.Do(len(vs), func(i int) error {
 		v := vs[i]
-		art, err := eng.BuildContext(ctx, detectorHeapKernel, v.mode, v.opts)
+		art, err := eng.BuildContext(ctx, detectorHeapKernel, v.mode, opt(v.opts))
 		if err != nil {
 			return fmt.Errorf("%s: %w", v.name, err)
 		}
@@ -143,7 +143,7 @@ func detectorTable(ctx context.Context, eng *serve.Engine) (*Table, error) {
 // expensive unchecked-GCC runaways that burn the whole step budget —
 // is simulated once and served from the run cache afterwards.
 func detects(ctx context.Context, eng *serve.Engine, src string, v detectorVariant) (bool, error) {
-	art, err := eng.BuildContext(ctx, src, v.mode, v.opts)
+	art, err := eng.BuildContext(ctx, src, v.mode, opt(v.opts))
 	if err != nil {
 		return false, err
 	}

@@ -36,7 +36,7 @@ func ablationSegRegs(ctx context.Context, eng *serve.Engine) (*Table, error) {
 		w := ws[i]
 		row := []string{w.Paper}
 		for _, regs := range []int{2, 3, 4} {
-			cmp, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{SegRegs: regs})
+			cmp, err := eng.CompareContext(ctx, w.Name, w.Source, opt(core.Options{SegRegs: regs}))
 			if err != nil {
 				return err
 			}
@@ -65,7 +65,7 @@ func CacheTable() (*Table, error) {
 
 func cacheTable(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	w, _ := workload.ByName("toast")
-	art, err := eng.BuildContext(ctx, w.Source, core.ModeCash, core.Options{})
+	art, err := eng.BuildContext(ctx, w.Source, core.ModeCash, opt(core.Options{}))
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func segmentsTable(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	t.Rows = make([][]string, len(ws))
 	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
-		art, err := eng.BuildContext(ctx, w.Source, core.ModeCash, core.Options{})
+		art, err := eng.BuildContext(ctx, w.Source, core.ModeCash, opt(core.Options{}))
 		if err != nil {
 			return err
 		}
@@ -218,11 +218,11 @@ func boundInstrTable(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	t.Rows = make([][]string, len(ws))
 	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
-		seq, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{})
+		seq, err := eng.CompareContext(ctx, w.Name, w.Source, opt(core.Options{}))
 		if err != nil {
 			return err
 		}
-		bnd, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{UseBoundInstr: true})
+		bnd, err := eng.CompareContext(ctx, w.Name, w.Source, opt(core.Options{UseBoundInstr: true}))
 		if err != nil {
 			return err
 		}
@@ -328,7 +328,7 @@ void main() {
 }
 
 // Options returns the default experiment options.
-func Options() core.Options { return core.Options{} }
+func Options() core.Options { return opt(core.Options{}) }
 
 // Timing records the host-side cost of producing one table: wall-clock
 // time plus the simulated instructions and cycles executed on its behalf.

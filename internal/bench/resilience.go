@@ -26,7 +26,7 @@ func ResilienceTable(requests int, seed uint64, rate float64) (*Table, error) {
 // golden checks.
 func ResilienceTableContext(ctx context.Context, requests int, seed uint64, rate float64) (*Table, error) {
 	plan := chaos.NewPlan(chaos.Config{Seed: seed, Rate: rate})
-	reps, err := netsim.MeasureAllResilienceContext(ctx, serve.NewEngine(serve.EngineConfig{}), requests, core.Options{}, plan)
+	reps, err := netsim.MeasureAllResilienceContext(ctx, serve.NewEngine(serve.EngineConfig{}), requests, opt(core.Options{}), plan)
 	if err != nil {
 		return nil, err
 	}

@@ -99,6 +99,13 @@ func Specs() []Spec {
 			Generate: func(ctx context.Context, _ *serve.Engine, _ int) (*Table, error) {
 				return Figure2Table()
 			}},
+		// The pass ablation is excluded from -all so the historical
+		// golden (which predates the optimizing back end) stays
+		// byte-identical; it has its own golden file.
+		{ID: "ablation-passes", Caption: "IR optimization pass ablation: rce + hoist on the kernels", InAll: false,
+			Generate: func(ctx context.Context, eng *serve.Engine, _ int) (*Table, error) {
+				return ablationPasses(ctx, eng)
+			}},
 		// The resilience generator deliberately ignores the caller's
 		// Engine: it measures on a fresh private one so its published
 		// metrics delta is a pure function of (requests, seed, rate) —

@@ -51,7 +51,7 @@ func table1(ctx context.Context, eng *serve.Engine, segRegs int) (*Table, error)
 	t.Rows = make([][]string, len(ws))
 	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
-		cmp, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{SegRegs: segRegs})
+		cmp, err := eng.CompareContext(ctx, w.Name, w.Source, opt(core.Options{SegRegs: segRegs}))
 		if err != nil {
 			return err
 		}
@@ -91,7 +91,7 @@ func staticLinkSizes(ctx context.Context, eng *serve.Engine) (map[core.Mode]int,
 	lib := workload.LibCorpus()
 	out := make(map[core.Mode]int, 3)
 	for _, mode := range []core.Mode{core.ModeGCC, core.ModeCash, core.ModeBCC} {
-		art, err := eng.BuildContext(ctx, lib.Source, mode, core.Options{})
+		art, err := eng.BuildContext(ctx, lib.Source, mode, opt(core.Options{}))
 		if err != nil {
 			return nil, fmt.Errorf("libc corpus: %w", err)
 		}
@@ -118,7 +118,7 @@ func sizeTable(ctx context.Context, eng *serve.Engine, id, title string, ws []wo
 		w := ws[i]
 		sizes := make(map[core.Mode]int, 3)
 		for _, mode := range []core.Mode{core.ModeGCC, core.ModeCash, core.ModeBCC} {
-			art, err := eng.BuildContext(ctx, w.Source, mode, core.Options{})
+			art, err := eng.BuildContext(ctx, w.Source, mode, opt(core.Options{}))
 			if err != nil {
 				return fmt.Errorf("%s: %w", w.Name, err)
 			}
@@ -173,7 +173,7 @@ func table3(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	err := eng.Do(len(cells), func(i int) error {
 		s := sweeps[i/perRow]
 		w := s.mk(s.sizes[i%perRow])
-		cmp, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{SegRegs: 4})
+		cmp, err := eng.CompareContext(ctx, w.Name, w.Source, opt(core.Options{SegRegs: 4}))
 		if err != nil {
 			return err
 		}
@@ -221,7 +221,7 @@ func characteristicsTable(ctx context.Context, eng *serve.Engine, id, title stri
 			fracPct = float64(ch.SpilledLoops) / float64(ch.ArrayUsingLoops) * 100
 		}
 		// Dynamic share of loop iterations executed in spilled loops.
-		art, err := eng.BuildContext(ctx, w.Source, core.ModeCash, core.Options{})
+		art, err := eng.BuildContext(ctx, w.Source, core.ModeCash, opt(core.Options{}))
 		if err != nil {
 			return fmt.Errorf("%s: %w", w.Name, err)
 		}
@@ -262,7 +262,7 @@ func table5(ctx context.Context, eng *serve.Engine) (*Table, error) {
 	t.Rows = make([][]string, len(ws))
 	err := eng.Do(len(ws), func(i int) error {
 		w := ws[i]
-		cmp, err := eng.CompareContext(ctx, w.Name, w.Source, core.Options{})
+		cmp, err := eng.CompareContext(ctx, w.Name, w.Source, opt(core.Options{}))
 		if err != nil {
 			return err
 		}
@@ -287,7 +287,7 @@ func Table8(requests int) (*Table, error) {
 }
 
 func table8(ctx context.Context, eng *serve.Engine, requests int) (*Table, error) {
-	reps, err := netsim.MeasureAllContext(ctx, eng, requests, core.Options{})
+	reps, err := netsim.MeasureAllContext(ctx, eng, requests, opt(core.Options{}))
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +318,7 @@ func Table8BCC(requests int) (*Table, error) {
 }
 
 func table8BCC(ctx context.Context, eng *serve.Engine, requests int) (*Table, error) {
-	reps, err := netsim.MeasureAllContext(ctx, eng, requests, core.Options{})
+	reps, err := netsim.MeasureAllContext(ctx, eng, requests, opt(core.Options{}))
 	if err != nil {
 		return nil, err
 	}

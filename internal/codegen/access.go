@@ -20,6 +20,10 @@ import (
 //     compares, two conditional branches (§2) — against the object's
 //     bounds, then a flat access;
 //   - the unchecked path (GCC always; Cash outside loops, §3.8).
+//
+// Which path applies, and how the check obtains its bounds, is the
+// strategy's decision (strategy.go); this file holds the shared
+// machinery.
 
 // accessPath selects the checking strategy for one reference.
 type accessPath int
@@ -44,23 +48,7 @@ func (c *compiler) pathFor(decl *minic.VarDecl, write bool) accessPath {
 	if !write && c.cfg.SkipReadChecks {
 		return pathNone
 	}
-	switch c.cfg.Mode {
-	case vm.ModeBCC:
-		return pathSoft
-	case vm.ModeCash:
-		if c.inLoop == 0 {
-			// Cash checks array-like references inside loops only (§1).
-			return pathNone
-		}
-		if lc := c.topLoop(); lc != nil && decl != nil {
-			if _, ok := lc.info.assigned[decl]; ok {
-				return pathSeg
-			}
-		}
-		return pathSoft
-	default:
-		return pathNone
-	}
+	return c.strat.pathFor(c, decl)
 }
 
 // slotRef returns the memory operand of a variable's stack or data slot,
@@ -120,11 +108,22 @@ const (
 // held in addr. Failure branches to the shared trap. The first emitted
 // instruction carries NoteSWCheck so the machine counts executions.
 //
+// Every check's instructions carry a check id, so a pass can remove the
+// whole sequence; when the caller hasn't opened a check scope (the
+// register-metadata checks of computed references), an anonymous,
+// pass-ineligible id is opened here.
+//
 // With Config.UseBoundInstr the IA-32 `bound` instruction replaces the
 // compare sequence wherever the two bounds sit adjacent in memory (fat
 // pointer slots, info structures, static array bounds); the remaining
 // shapes keep the explicit sequence, as a real compiler would.
 func (c *compiler) emitSoftCheck(addr vm.Reg, meta checkMeta) {
+	if c.b.CurCheck() == 0 {
+		id := c.newCheck()
+		c.checks[id] = &checkRec{id: id}
+		prev := c.b.SetCheck(id)
+		defer c.b.SetCheck(prev)
+	}
 	if c.cfg.UseBoundInstr && c.emitBoundInstr(addr, meta) {
 		c.stats[StatSWChecks]++
 		return
@@ -272,13 +271,13 @@ func (c *compiler) genRef(base minic.Expr, idx minic.Expr, elem int32, write boo
 		if err := evalIdx(); err != nil {
 			return vm.Operand{}, err
 		}
-		return c.refDirectArray(decl, path, idxConst, haveIdxReg)
+		return c.refDirectArray(decl, path, idx, idxConst, haveIdxReg)
 
 	case decl != nil: // pointer variable
 		if err := evalIdx(); err != nil {
 			return vm.Operand{}, err
 		}
-		return c.refPointerVar(decl, path, idxConst, haveIdxReg)
+		return c.refPointerVar(decl, path, idx, idxConst, haveIdxReg)
 
 	default:
 		return c.refComputed(base, idx, elem, path)
@@ -286,7 +285,7 @@ func (c *compiler) genRef(base minic.Expr, idx minic.Expr, elem int32, write boo
 }
 
 // refDirectArray handles a[i] where a is an array variable.
-func (c *compiler) refDirectArray(d *minic.VarDecl, path accessPath, idxConst int32, idxReg bool) (vm.Operand, error) {
+func (c *compiler) refDirectArray(d *minic.VarDecl, path accessPath, idx minic.Expr, idxConst int32, idxReg bool) (vm.Operand, error) {
 	global := d.Storage == minic.StorageGlobal
 	switch path {
 	case pathSeg:
@@ -296,6 +295,7 @@ func (c *compiler) refDirectArray(d *minic.VarDecl, path accessPath, idxConst in
 			rel += int32(d.Addr - globalSegLower(d))
 		}
 		c.stats[StatHWChecks]++
+		c.b.TagMem(refTag{decl: d, exact: true})
 		if idxReg {
 			return vm.M(vm.MemRef{Seg: seg, Base: vm.EAX, HasBase: true, Disp: rel}), nil
 		}
@@ -318,10 +318,12 @@ func (c *compiler) refDirectArray(d *minic.VarDecl, path accessPath, idxConst in
 			}
 			c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(ref))
 		}
-		c.emitCheckForDecl(vm.EBX, d)
+		c.checkedDeclRef(vm.EBX, d, idx, idxConst, idxReg)
+		c.b.TagMem(refTag{decl: d, exact: true})
 		return vm.M(vm.MemRef{Seg: x86seg.DS, Base: vm.EBX, HasBase: true}), nil
 
 	default: // pathNone
+		c.b.TagMem(refTag{decl: d})
 		if global {
 			ref := vm.MemRef{Seg: x86seg.DS, Disp: int32(d.Addr) + idxConst}
 			if idxReg {
@@ -341,7 +343,10 @@ func (c *compiler) refDirectArray(d *minic.VarDecl, path accessPath, idxConst in
 }
 
 // refPointerVar handles p[i] / *p where p is a named pointer variable.
-func (c *compiler) refPointerVar(d *minic.VarDecl, path accessPath, idxConst int32, idxReg bool) (vm.Operand, error) {
+// Pointer-mediated references are never tagged exact: the pointee's
+// bounds may be the universal "unchecked" info, so a checked store can
+// still land anywhere.
+func (c *compiler) refPointerVar(d *minic.VarDecl, path accessPath, idx minic.Expr, idxConst int32, idxReg bool) (vm.Operand, error) {
 	switch path {
 	case pathSeg:
 		lc := c.topLoop()
@@ -366,6 +371,7 @@ func (c *compiler) refPointerVar(d *minic.VarDecl, path accessPath, idxConst int
 			c.b.Op(vm.MOV, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: rel}))
 		}
 		c.stats[StatHWChecks]++
+		c.b.TagMem(refTag{decl: d})
 		ref := vm.MemRef{Seg: seg, Base: vm.EBX, HasBase: true, Disp: idxConst}
 		if idxReg {
 			ref.Index = vm.EAX
@@ -382,11 +388,13 @@ func (c *compiler) refPointerVar(d *minic.VarDecl, path accessPath, idxConst int
 		if idxConst != 0 {
 			c.b.Op(vm.ADD, vm.R(vm.EBX), vm.I(idxConst))
 		}
-		c.emitCheckForDecl(vm.EBX, d)
+		c.checkedDeclRef(vm.EBX, d, idx, idxConst, idxReg)
+		c.b.TagMem(refTag{decl: d})
 		return vm.M(vm.MemRef{Seg: x86seg.DS, Base: vm.EBX, HasBase: true}), nil
 
 	default:
 		c.b.Op(vm.MOV, vm.R(vm.EBX), vm.M(c.slotRef(d, 0)))
+		c.b.TagMem(refTag{decl: d})
 		ref := vm.MemRef{Seg: x86seg.DS, Base: vm.EBX, HasBase: true, Disp: idxConst}
 		if idxReg {
 			ref.Index = vm.EAX
@@ -395,25 +403,6 @@ func (c *compiler) refPointerVar(d *minic.VarDecl, path accessPath, idxConst int
 		}
 		return vm.M(ref), nil
 	}
-}
-
-// emitCheckForDecl emits the software check appropriate to the mode for a
-// reference through a declared object.
-func (c *compiler) emitCheckForDecl(addr vm.Reg, d *minic.VarDecl) {
-	if c.cfg.Mode == vm.ModeBCC {
-		switch {
-		case d.Type.Kind == minic.TypeArray && d.Storage == minic.StorageGlobal:
-			c.emitSoftCheck(addr, bccConstMeta(d))
-		case d.Type.Kind == minic.TypeArray:
-			c.emitSoftCheck(addr, checkMeta{kind: metaFrame, decl: d})
-		default:
-			c.emitSoftCheck(addr, checkMeta{kind: metaSlot, decl: d})
-		}
-		return
-	}
-	// Cash spilled reference: bounds live in the info structure.
-	c.loadShadowInto(d)
-	c.emitSoftCheck(addr, checkMeta{kind: metaShad, shadowOp: vm.R(vm.ESI)})
 }
 
 // refComputed handles references whose base is a computed pointer
@@ -427,13 +416,7 @@ func (c *compiler) refComputed(base minic.Expr, idx minic.Expr, elem int32, path
 	needMeta := path == pathSoft
 	// Save base value (and metadata when a software check needs it).
 	if needMeta {
-		switch c.cfg.Mode {
-		case vm.ModeBCC:
-			c.b.Op1(vm.PUSH, vm.R(vm.ECX))
-			c.b.Op1(vm.PUSH, vm.R(vm.EDX))
-		case vm.ModeCash:
-			c.b.Op1(vm.PUSH, vm.R(vm.EDX))
-		}
+		c.strat.computedMetaPush(c)
 	}
 	c.b.Op1(vm.PUSH, vm.R(vm.EAX))
 	idxReg := false
@@ -457,15 +440,8 @@ func (c *compiler) refComputed(base minic.Expr, idx minic.Expr, elem int32, path
 		c.b.Op(vm.ADD, vm.R(vm.EBX), vm.R(vm.EAX))
 	}
 	if needMeta {
-		switch c.cfg.Mode {
-		case vm.ModeBCC:
-			c.b.Op1(vm.POP, vm.R(vm.ESI)) // base
-			c.b.Op1(vm.POP, vm.R(vm.EDI)) // limit
-			c.emitSoftCheck(vm.EBX, checkMeta{kind: metaRegs})
-		case vm.ModeCash:
-			c.b.Op1(vm.POP, vm.R(vm.ESI)) // shadow
-			c.emitSoftCheck(vm.EBX, checkMeta{kind: metaShad, shadowOp: vm.R(vm.ESI)})
-		}
+		c.strat.computedMetaCheck(c, vm.EBX)
 	}
+	c.b.TagMem(refTag{})
 	return vm.M(vm.MemRef{Seg: x86seg.DS, Base: vm.EBX, HasBase: true}), nil
 }

@@ -12,11 +12,17 @@
 // All three modes share the front end and the target ISA, so differences
 // in simulated cycles and code bytes isolate the checking strategy, which
 // is what the paper's tables compare.
+//
+// The back end lowers through the CFG-based IR in internal/ir: each mode
+// is a lowering strategy (strategy.go), optional optimization passes
+// transform the IR (pipeline.go, rce.go, hoist.go), and ir.Module.EmitTo
+// replays the result through a vm.Builder.
 package codegen
 
 import (
 	"fmt"
 
+	"cash/internal/ir"
 	"cash/internal/minic"
 	"cash/internal/vm"
 	"cash/internal/x86seg"
@@ -45,6 +51,12 @@ type Config struct {
 	// to the explicit sequence on the P3 — 7 cycles against 6 — which
 	// this ablation measures.
 	UseBoundInstr bool
+	// Passes names the optimization passes to run on the IR, from
+	// PassNames(): "rce" (dominance-based redundant-check elimination)
+	// and "hoist" (loop-invariant check hoisting). Empty means the
+	// emitted program is byte-identical to the historical direct
+	// back end.
+	Passes []string
 }
 
 // Layout constants shared by all generated programs.
@@ -53,84 +65,37 @@ const (
 	StackTop = 0x7fff0000
 )
 
+// Fragment names of the anonymous runtime stubs. Parenthesised so no
+// mini-C function name can collide.
+const (
+	trapFragment    = "(trap)"
+	startupFragment = "(startup)"
+)
+
 // Static code-generation statistic keys stored in Program.Stats.
 const (
 	StatHWChecks    = "hw_checks_static"   // references compiled to segment-checked operands
 	StatSWChecks    = "sw_checks_static"   // software check sequences emitted
 	StatSegments    = "static_segments"    // segments allocated for globals/strings
 	StatLocalArrays = "local_array_allocs" // per-call segment alloc sites
+
+	// Pass counters, present only when the corresponding pass ran.
+	StatChecksElim    = "sw_checks_eliminated" // removed as dominated-redundant (rce)
+	StatChecksHoisted = "sw_checks_hoisted"    // replaced by preheader range checks (hoist)
 )
 
-// Compile type-checks nothing: the caller must run minic.Check first.
-// It returns a runnable vm.Program.
-func Compile(prog *minic.Program, cfg Config) (*vm.Program, error) {
-	if cfg.Mode == 0 {
-		return nil, fmt.Errorf("codegen: config missing mode")
-	}
-	segRegs := cfg.SegRegs
-	if segRegs == nil {
-		segRegs = DefaultSegRegs
-	}
-	stackSeg := x86seg.SS
-	for _, r := range segRegs {
-		if r == x86seg.SS {
-			stackSeg = x86seg.DS
-		}
-	}
-	c := &compiler{
-		cfg:        cfg,
-		segRegs:    segRegs,
-		stackSeg:   stackSeg,
-		src:        prog,
-		b:          vm.NewBuilder(),
-		boundsPool: make(map[[2]uint32]uint32),
-		gInfo:      make(map[*minic.VarDecl]uint32),
-		localInfo:  make(map[*minic.VarDecl]int32),
-		stats:      make(map[string]uint64),
-	}
-	if err := c.layoutGlobals(); err != nil {
-		return nil, err
-	}
-	for _, fn := range prog.Funcs {
-		if err := c.genFunc(fn); err != nil {
-			return nil, fmt.Errorf("function %s: %w", fn.Name, err)
-		}
-	}
-	c.genTrap()
-	entry := c.genStartup()
-	p, err := c.b.Finish("program")
-	if err != nil {
-		return nil, err
-	}
-	p.Entry = entry
-	p.Mode = cfg.Mode.String()
-	p.Data = c.data
-	p.DataBase = DataBase
-	heap := (DataBase + uint32(len(c.data)) + 0xfff) &^ 0xfff
-	p.HeapBase = heap + 0x1000
-	p.StackTop = StackTop
-	for k, v := range c.stats {
-		p.Stats[k] = v
-	}
-	return p, nil
-}
-
-// ptrWords returns the pointer-variable representation width in words:
-// GCC 1 (value), Cash 2 (value + shadow info pointer), BCC 3 (value, base,
-// limit) — §4.1.
-func ptrWords(mode vm.Mode) int32 {
-	switch mode {
-	case vm.ModeCash:
-		return 2
-	case vm.ModeBCC:
-		return 3
-	default:
-		return 1
+// StatKeys lists every static codegen statistic key in reporting order.
+func StatKeys() []string {
+	return []string{
+		StatHWChecks, StatSWChecks, StatChecksElim, StatChecksHoisted,
+		StatSegments, StatLocalArrays,
 	}
 }
 
 type compiler struct {
-	cfg     Config
+	cfg   Config
+	strat strategy
+	// segRegs is the validated segment-register budget.
 	segRegs []x86seg.SegReg
 	// stackSeg is the segment register frame accesses go through:
 	// normally SS. When SS is in the array-register budget the compiler
@@ -139,7 +104,7 @@ type compiler struct {
 	// identical flat segments under Linux).
 	stackSeg x86seg.SegReg
 	src      *minic.Program
-	b        *vm.Builder
+	b        *ir.Builder
 	data     []byte
 
 	univInfo   uint32                    // Cash: info struct meaning "unchecked"
@@ -158,6 +123,17 @@ type compiler struct {
 	contLbl    []string
 	epilogue   string
 	labelSeq   int
+
+	// Pass provenance (pipeline.go, rce.go, hoist.go).
+	checkSeq   int
+	checks     map[int]*checkRec
+	deadChecks map[int]bool // check ids removed by a pass
+	declID     map[*minic.VarDecl]int
+	addrTaken  map[*minic.VarDecl]bool
+	wantHoist  bool
+	hoistCands []*hoistCand
+	fns        []*fnState
+	curFn      *fnState
 
 	stats map[string]uint64
 }
@@ -202,7 +178,7 @@ func (c *compiler) writeWord(addr uint32, v uint32) {
 func (c *compiler) slotSize(t *minic.Type) int32 {
 	switch t.Kind {
 	case minic.TypePointer:
-		return ptrWords(c.cfg.Mode) * 4
+		return c.strat.ptrWords() * 4
 	case minic.TypeArray:
 		return int32((t.Size() + 3) &^ 3)
 	default:
@@ -214,18 +190,10 @@ func (c *compiler) slotSize(t *minic.Type) int32 {
 // array, §3.2), applies constant initialisers, and creates the universal
 // "unchecked" info structure.
 func (c *compiler) layoutGlobals() error {
-	if c.cfg.Mode == vm.ModeCash {
-		c.univInfo = c.allocData(vm.InfoStructSize, 4)
-		c.writeWord(c.univInfo, uint32(vm.FlatDataSelector))
-		c.writeWord(c.univInfo+4, 0)
-		c.writeWord(c.univInfo+8, 0xffffffff)
-	}
+	c.strat.layoutUniverse(c)
 	for _, g := range c.src.Globals {
-		if c.cfg.Mode == vm.ModeCash && g.Type.Kind == minic.TypeArray {
-			// "When a 100-byte array is statically allocated, Cash
-			// allocates 112 bytes, with the first three words dedicated
-			// to this array's information structure." (§3.2)
-			c.gInfo[g] = c.allocData(vm.InfoStructSize, 4)
+		if g.Type.Kind == minic.TypeArray {
+			c.strat.globalArrayInfo(c, g)
 		}
 		g.Addr = c.allocData(uint32(c.slotSize(g.Type)), 4)
 		if err := c.initGlobal(g); err != nil {
@@ -271,7 +239,7 @@ func (c *compiler) initGlobal(g *minic.VarDecl) error {
 				return fmt.Errorf("global pointer %q: only 0 initialiser supported", g.Name)
 			}
 			c.writeWord(g.Addr, 0)
-			c.initPointerMetaStatic(g.Addr)
+			c.strat.staticPointerMeta(c, g.Addr)
 		} else if g.Type == minic.Char {
 			c.data[g.Addr-DataBase] = byte(v)
 		} else {
@@ -279,22 +247,10 @@ func (c *compiler) initGlobal(g *minic.VarDecl) error {
 		}
 	default:
 		if g.Type.Kind == minic.TypePointer {
-			c.initPointerMetaStatic(g.Addr)
+			c.strat.staticPointerMeta(c, g.Addr)
 		}
 	}
 	return nil
-}
-
-// initPointerMetaStatic writes "unchecked" metadata into a global pointer
-// slot's extra words.
-func (c *compiler) initPointerMetaStatic(addr uint32) {
-	switch c.cfg.Mode {
-	case vm.ModeCash:
-		c.writeWord(addr+4, c.univInfo)
-	case vm.ModeBCC:
-		c.writeWord(addr+4, 0)
-		c.writeWord(addr+8, 0xffffffff)
-	}
 }
 
 // internString places a string literal in the data image (once per
@@ -303,9 +259,7 @@ func (c *compiler) initPointerMetaStatic(addr uint32) {
 func (c *compiler) internString(s *minic.StringLit) strLit {
 	n := uint32(len(s.Value)) + 1
 	lit := strLit{len: n}
-	if c.cfg.Mode == vm.ModeCash {
-		lit.info = c.allocData(vm.InfoStructSize, 4)
-	}
+	c.strat.stringInfo(c, &lit)
 	lit.addr = c.allocData(n, 1)
 	copy(c.data[lit.addr-DataBase:], s.Value)
 	s.Addr = lit.addr
@@ -315,37 +269,24 @@ func (c *compiler) internString(s *minic.StringLit) strLit {
 
 // genTrap emits the shared software-bound-violation sink.
 func (c *compiler) genTrap() {
+	c.b.BeginFragment(trapFragment)
 	c.b.Label("__bounds_trap")
 	c.b.Emit(vm.Instr{Op: vm.TRAP, Sym: "software array bound violation"})
 }
 
-// genStartup emits the process entry stub: Cash set-up (call gate,
-// segments for global arrays and string literals, §3.4), the call to
-// main, and exit.
-func (c *compiler) genStartup() int {
-	entry := c.b.Len()
+// genStartup emits the process entry stub: mode set-up (Cash: call gate
+// and segments for global arrays and string literals, §3.4), the call to
+// main, and exit. The program entry point is the fragment start,
+// recomputed at emission so passes may grow or shrink earlier fragments.
+func (c *compiler) genStartup() {
+	c.b.BeginFragment(startupFragment)
 	c.b.Label("__start")
-	if c.cfg.Mode == vm.ModeCash {
-		c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(vm.SysSetLDTCallGate))
-		c.b.Emit(vm.Instr{Op: vm.INT, Src: vm.I(0x80)})
-		for _, g := range c.src.Globals {
-			if g.Type.Kind != minic.TypeArray {
-				continue
-			}
-			c.emitGateAlloc(vm.I(int32(g.Addr)), int32(g.Type.Size()), vm.I(int32(c.gInfo[g])))
-			c.stats[StatSegments]++
-		}
-		for _, lit := range c.strLits {
-			c.emitGateAlloc(vm.I(int32(lit.addr)), int32(lit.len), vm.I(int32(lit.info)))
-			c.stats[StatSegments]++
-		}
-	}
+	c.strat.emitStartupAllocs(c)
 	c.b.Call("main")
 	c.b.Op(vm.MOV, vm.R(vm.EBX), vm.R(vm.EAX))
 	c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(vm.SysExit))
 	c.b.Emit(vm.Instr{Op: vm.INT, Src: vm.I(0x80)})
 	c.b.Emit(vm.Instr{Op: vm.HLT})
-	return entry
 }
 
 // emitGateAlloc emits a cash_modify_ldt call-gate invocation allocating a

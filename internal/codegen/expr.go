@@ -12,44 +12,27 @@ import (
 // according to the mode: Cash keeps the shadow info pointer in EDX; BCC
 // keeps base in EDX and limit in ECX. Temporaries across sub-expressions
 // are kept on the machine stack; EBX/ESI/EDI are scratch within one node.
+// All mode-specific metadata flow goes through the strategy (strategy.go).
 
 // loadUncheckedMeta sets the metadata registers to "no bounds known":
 // Cash points the shadow at the universal info structure, BCC uses
 // [0, 4GiB). Used for pointers materialised from integers, NULL, or
 // loaded thin from memory.
 func (c *compiler) loadUncheckedMeta() {
-	switch c.cfg.Mode {
-	case vm.ModeCash:
-		c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(c.univInfo)))
-	case vm.ModeBCC:
-		c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(0))
-		c.b.Op(vm.MOV, vm.R(vm.ECX), vm.I(-1))
-	}
+	c.strat.loadUncheckedMeta(c)
 }
 
-// pushPtrMeta / popPtrMetaInto save and restore pointer metadata around a
-// sub-evaluation. Value word is pushed last so it pops first.
+// pushPtr / popPtr save and restore a pointer value plus metadata around
+// a sub-evaluation. Value word is pushed last so it pops first.
 func (c *compiler) pushPtr() {
-	switch c.cfg.Mode {
-	case vm.ModeCash:
-		c.b.Op1(vm.PUSH, vm.R(vm.EDX))
-	case vm.ModeBCC:
-		c.b.Op1(vm.PUSH, vm.R(vm.ECX))
-		c.b.Op1(vm.PUSH, vm.R(vm.EDX))
-	}
+	c.strat.pushPtrMeta(c)
 	c.b.Op1(vm.PUSH, vm.R(vm.EAX))
 }
 
 // popPtr restores a pushed pointer into EAX + metadata registers.
 func (c *compiler) popPtr() {
 	c.b.Op1(vm.POP, vm.R(vm.EAX))
-	switch c.cfg.Mode {
-	case vm.ModeCash:
-		c.b.Op1(vm.POP, vm.R(vm.EDX))
-	case vm.ModeBCC:
-		c.b.Op1(vm.POP, vm.R(vm.EDX))
-		c.b.Op1(vm.POP, vm.R(vm.ECX))
-	}
+	c.strat.popPtrMeta(c)
 }
 
 // genExpr compiles e; result in EAX (+ metadata for pointers).
@@ -62,13 +45,7 @@ func (c *compiler) genExpr(e minic.Expr) error {
 	case *minic.StringLit:
 		lit := c.internString(e)
 		c.b.Op(vm.MOV, vm.R(vm.EAX), vm.I(int32(lit.addr)))
-		switch c.cfg.Mode {
-		case vm.ModeCash:
-			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(lit.info)))
-		case vm.ModeBCC:
-			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(lit.addr)))
-			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.I(int32(lit.addr+lit.len)))
-		}
+		c.strat.stringLitMeta(c, lit)
 		return nil
 
 	case *minic.VarRef:
@@ -145,30 +122,12 @@ func (c *compiler) genVarRef(d *minic.VarDecl) error {
 		} else {
 			c.b.Op(vm.LEA, vm.R(vm.EAX), vm.M(c.slotRef(d, 0)))
 		}
-		switch c.cfg.Mode {
-		case vm.ModeCash:
-			if d.Storage == minic.StorageGlobal {
-				c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(c.gInfo[d])))
-			} else {
-				c.b.Op(vm.LEA, vm.R(vm.EDX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.localInfo[d]}))
-			}
-		case vm.ModeBCC:
-			size := int32(d.Type.Size())
-			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
-			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.R(vm.EAX))
-			c.b.Op(vm.ADD, vm.R(vm.ECX), vm.I(size))
-		}
+		c.strat.arrayDecayMeta(c, d)
 		return nil
 
 	case minic.TypePointer:
 		c.b.Op(vm.MOV, vm.R(vm.EAX), vm.M(c.slotRef(d, 0)))
-		switch c.cfg.Mode {
-		case vm.ModeCash:
-			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.M(c.slotRef(d, 4)))
-		case vm.ModeBCC:
-			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.M(c.slotRef(d, 4)))
-			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.M(c.slotRef(d, 8)))
-		}
+		c.strat.pointerLoadMeta(c, d)
 		return nil
 
 	default:
@@ -222,14 +181,7 @@ func (c *compiler) genAddrOf(x minic.Expr) error {
 		} else {
 			c.b.Op(vm.LEA, vm.R(vm.EAX), vm.M(c.slotRef(d, 0)))
 		}
-		switch c.cfg.Mode {
-		case vm.ModeCash:
-			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(c.univInfo)))
-		case vm.ModeBCC:
-			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
-			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.R(vm.EAX))
-			c.b.Op(vm.ADD, vm.R(vm.ECX), vm.I(int32(d.Type.Size())))
-		}
+		c.strat.scalarAddrMeta(c, d)
 		return nil
 
 	case *minic.Index:
@@ -380,13 +332,18 @@ func (c *compiler) genCondJump(e minic.Expr, target string, jumpIfTrue bool) err
 			c.b.Jump(op, target)
 			return nil
 		}
+		// Short-circuit right operands execute conditionally: bracket them
+		// for the hoist candidates.
 		if e.Op == "&&" {
 			if jumpIfTrue {
 				skip := c.lbl("and")
 				if err := c.genCondJump(e.X, skip, false); err != nil {
 					return err
 				}
-				if err := c.genCondJump(e.Y, target, true); err != nil {
+				c.condEnter()
+				err := c.genCondJump(e.Y, target, true)
+				c.condExit()
+				if err != nil {
 					return err
 				}
 				c.b.Label(skip)
@@ -395,20 +352,29 @@ func (c *compiler) genCondJump(e minic.Expr, target string, jumpIfTrue bool) err
 			if err := c.genCondJump(e.X, target, false); err != nil {
 				return err
 			}
-			return c.genCondJump(e.Y, target, false)
+			c.condEnter()
+			err := c.genCondJump(e.Y, target, false)
+			c.condExit()
+			return err
 		}
 		if e.Op == "||" {
 			if jumpIfTrue {
 				if err := c.genCondJump(e.X, target, true); err != nil {
 					return err
 				}
-				return c.genCondJump(e.Y, target, true)
+				c.condEnter()
+				err := c.genCondJump(e.Y, target, true)
+				c.condExit()
+				return err
 			}
 			skip := c.lbl("or")
 			if err := c.genCondJump(e.X, skip, true); err != nil {
 				return err
 			}
-			if err := c.genCondJump(e.Y, target, false); err != nil {
+			c.condEnter()
+			err := c.genCondJump(e.Y, target, false)
+			c.condExit()
+			if err != nil {
 				return err
 			}
 			c.b.Label(skip)
@@ -586,13 +552,7 @@ func (c *compiler) genAssignVar(e *minic.Assign, d *minic.VarDecl) error {
 		}
 		c.b.Emit(vm.Instr{Op: vm.MOV, Dst: vm.M(c.slotRef(d, 0)), Src: vm.R(vm.EAX), Size: size})
 		if d.Type.Kind == minic.TypePointer {
-			switch c.cfg.Mode {
-			case vm.ModeCash:
-				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 4)), vm.R(vm.EDX))
-			case vm.ModeBCC:
-				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 4)), vm.R(vm.EDX))
-				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 8)), vm.R(vm.ECX))
-			}
+			c.strat.storePointerMeta(c, d)
 		}
 		return nil
 	}
@@ -655,7 +615,7 @@ func (c *compiler) genCall(e *minic.Call) error {
 				c.loadUncheckedMeta()
 			}
 			c.pushPtr()
-			total += ptrWords(c.cfg.Mode) * 4
+			total += c.strat.ptrWords() * 4
 		} else {
 			c.b.Op1(vm.PUSH, vm.R(vm.EAX))
 			total += 4
@@ -685,23 +645,7 @@ func (c *compiler) genBuiltin(e *minic.Call) error {
 		if err := c.genExpr(e.Args[0]); err != nil {
 			return err
 		}
-		switch c.cfg.Mode {
-		case vm.ModeBCC:
-			// Capture the size so the fat pointer gets exact bounds.
-			c.b.Op(vm.MOV, vm.R(vm.ESI), vm.R(vm.EAX))
-			c.b.Emit(vm.Instr{Op: vm.HCALL, Src: vm.I(vm.HostMalloc)})
-			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
-			c.b.Op(vm.MOV, vm.R(vm.ECX), vm.R(vm.EAX))
-			c.b.Op(vm.ADD, vm.R(vm.ECX), vm.R(vm.ESI))
-		case vm.ModeCash:
-			// The info structure sits just below the returned array
-			// (§3.2): shadow = ptr - 12.
-			c.b.Emit(vm.Instr{Op: vm.HCALL, Src: vm.I(vm.HostMalloc)})
-			c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
-			c.b.Op(vm.SUB, vm.R(vm.EDX), vm.I(vm.InfoStructSize))
-		default:
-			c.b.Emit(vm.Instr{Op: vm.HCALL, Src: vm.I(vm.HostMalloc)})
-		}
+		c.strat.mallocCall(c)
 		return nil
 
 	case "free":

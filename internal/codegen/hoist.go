@@ -1,0 +1,615 @@
+package codegen
+
+import (
+	"cash/internal/ir"
+	"cash/internal/minic"
+	"cash/internal/vm"
+)
+
+// Loop-invariant check hoisting. For a counted loop
+//
+//	for (v = LO; v < H; v++) ... a[v] ...
+//
+// whose body performs the software check on a[v] unconditionally each
+// iteration, the per-iteration check is replaced by two range checks in
+// a synthesized preheader: the lowest referenced address (a + LO*elem)
+// and the highest (a + (H-1)*elem). The loop itself then runs checked
+// but check-free. This is sound because the reference executes on every
+// iteration and the loop visits every index in [LO, H): if any endpoint
+// is out of bounds the original execution was going to trap too — the
+// transformed program merely traps before the loop instead of at the
+// offending iteration, which preserves the violation verdict (the
+// documented observable) while possibly truncating earlier output.
+//
+// Candidacy is established during lowering (enterHoistLoop /
+// noteHoistRef below); the transform itself runs as the "hoist" pass
+// after lowering (and after rce, which may have already deleted some of
+// the candidate checks).
+
+// countedLoop is the recognized shape of a hoistable for-loop.
+type countedLoop struct {
+	v       *minic.VarDecl // induction variable: v = lo; v < hi; v++
+	lo      int32
+	hiConst int32          // constant bound, when hiVar is nil
+	hiVar   *minic.VarDecl // scalar bound variable, unmodified in the body
+	incl    bool           // "<=" comparison
+}
+
+// hoistCand is one candidate loop: the checks eligible for hoisting,
+// grouped by checked array, gathered while its body lowers.
+type hoistCand struct {
+	cl    countedLoop
+	loop  *ir.Loop
+	depth int // conditional-nesting depth during lowering; refs qualify at 0
+	// order/groups: per-array check ids, in first-reference order.
+	order  []*minic.VarDecl
+	groups map[*minic.VarDecl][]int
+}
+
+// ---------------------------------------------------------------------
+// Lowering-time candidacy.
+
+// scanAddrTaken records every variable whose address is taken anywhere
+// in the function; such variables can alias through pointers and are
+// disqualified as induction or bound variables.
+func (c *compiler) scanAddrTaken(s minic.Stmt) {
+	var walkExpr func(e minic.Expr)
+	walkExpr = func(e minic.Expr) {
+		switch e := e.(type) {
+		case *minic.Unary:
+			if e.Op == "&" {
+				if vr, ok := e.X.(*minic.VarRef); ok && vr.Decl != nil {
+					c.addrTaken[vr.Decl] = true
+				}
+			}
+			walkExpr(e.X)
+		case *minic.IncDec:
+			walkExpr(e.X)
+		case *minic.Binary:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		case *minic.Assign:
+			walkExpr(e.LHS)
+			walkExpr(e.RHS)
+		case *minic.Index:
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *minic.Call:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *minic.Cast:
+			walkExpr(e.X)
+		}
+	}
+	var walkStmt func(s minic.Stmt)
+	walkStmt = func(s minic.Stmt) {
+		switch s := s.(type) {
+		case *minic.BlockStmt:
+			for _, sub := range s.Stmts {
+				walkStmt(sub)
+			}
+		case *minic.DeclStmt:
+			for _, d := range s.Decls {
+				if d.Init != nil {
+					walkExpr(d.Init)
+				}
+				for _, e := range d.InitList {
+					walkExpr(e)
+				}
+			}
+		case *minic.ExprStmt:
+			walkExpr(s.X)
+		case *minic.IfStmt:
+			walkExpr(s.Cond)
+			if s.Then != nil {
+				walkStmt(s.Then)
+			}
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *minic.WhileStmt:
+			walkExpr(s.Cond)
+			if s.Body != nil {
+				walkStmt(s.Body)
+			}
+		case *minic.ForStmt:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			if s.Cond != nil {
+				walkExpr(s.Cond)
+			}
+			if s.Post != nil {
+				walkExpr(s.Post)
+			}
+			if s.Body != nil {
+				walkStmt(s.Body)
+			}
+		case *minic.ReturnStmt:
+			if s.X != nil {
+				walkExpr(s.X)
+			}
+		}
+	}
+	if s != nil {
+		walkStmt(s)
+	}
+}
+
+// matchCountedLoop recognizes `for (v = LO; v < H; v++)` (also `<=` and
+// `v += 1`) with a body that cannot exit early or disturb v, H, or any
+// scalar through an unchecked store.
+func (c *compiler) matchCountedLoop(s *minic.ForStmt) (countedLoop, bool) {
+	var cl countedLoop
+	switch init := s.Init.(type) {
+	case *minic.DeclStmt:
+		if len(init.Decls) != 1 {
+			return cl, false
+		}
+		d := init.Decls[0]
+		if d.Type != minic.Int || d.Init == nil {
+			return cl, false
+		}
+		v, ok := constEval(d.Init)
+		if !ok {
+			return cl, false
+		}
+		cl.v, cl.lo = d, v
+	case *minic.ExprStmt:
+		a, ok := init.X.(*minic.Assign)
+		if !ok || a.Op != "=" {
+			return cl, false
+		}
+		vr, ok := a.LHS.(*minic.VarRef)
+		if !ok || vr.Decl == nil || vr.Decl.Type != minic.Int {
+			return cl, false
+		}
+		v, ok := constEval(a.RHS)
+		if !ok {
+			return cl, false
+		}
+		cl.v, cl.lo = vr.Decl, v
+	default:
+		return cl, false
+	}
+	if cl.v.Storage == minic.StorageGlobal || c.addrTaken[cl.v] {
+		return cl, false
+	}
+	// Keep the scaled low endpoint well inside 32-bit address arithmetic.
+	if cl.lo < -(1<<20) || cl.lo > 1<<20 {
+		return cl, false
+	}
+
+	cond, ok := s.Cond.(*minic.Binary)
+	if !ok || (cond.Op != "<" && cond.Op != "<=") {
+		return cl, false
+	}
+	cl.incl = cond.Op == "<="
+	x, ok := cond.X.(*minic.VarRef)
+	if !ok || x.Decl != cl.v {
+		return cl, false
+	}
+	if hv, ok := constEval(cond.Y); ok {
+		cl.hiConst = hv
+	} else if yr, ok := cond.Y.(*minic.VarRef); ok && yr.Decl != nil &&
+		yr.Decl.Type == minic.Int && yr.Decl != cl.v &&
+		yr.Decl.Storage != minic.StorageGlobal && !c.addrTaken[yr.Decl] {
+		cl.hiVar = yr.Decl
+	} else {
+		return cl, false
+	}
+
+	switch p := s.Post.(type) {
+	case *minic.IncDec:
+		vr, ok := p.X.(*minic.VarRef)
+		if !ok || vr.Decl != cl.v || p.Op != "++" {
+			return cl, false
+		}
+	case *minic.Assign:
+		vr, ok := p.LHS.(*minic.VarRef)
+		if !ok || vr.Decl != cl.v || p.Op != "+=" {
+			return cl, false
+		}
+		if dv, ok := constEval(p.RHS); !ok || dv != 1 {
+			return cl, false
+		}
+	default:
+		return cl, false
+	}
+
+	if s.Body == nil || !c.loopBodySafe(s.Body, cl.v, cl.hiVar) {
+		return cl, false
+	}
+	return cl, true
+}
+
+// loopBodySafe rejects bodies that can exit the loop early (break,
+// continue, return) or disturb the trip count: writes to v or the bound
+// variable, and stores whose target the checker cannot confine (pointer
+// or computed stores; direct array stores are bound-checked inside loops
+// and cannot reach a scalar slot).
+func (c *compiler) loopBodySafe(s minic.Stmt, v, hiVar *minic.VarDecl) bool {
+	switch s := s.(type) {
+	case *minic.BlockStmt:
+		for _, sub := range s.Stmts {
+			if !c.loopBodySafe(sub, v, hiVar) {
+				return false
+			}
+		}
+		return true
+	case *minic.DeclStmt:
+		for _, d := range s.Decls {
+			if d.Init != nil && !c.hoistExprSafe(d.Init, v, hiVar) {
+				return false
+			}
+			for _, e := range d.InitList {
+				if !c.hoistExprSafe(e, v, hiVar) {
+					return false
+				}
+			}
+		}
+		return true
+	case *minic.ExprStmt:
+		return c.hoistExprSafe(s.X, v, hiVar)
+	case *minic.IfStmt:
+		if !c.hoistExprSafe(s.Cond, v, hiVar) {
+			return false
+		}
+		if s.Then != nil && !c.loopBodySafe(s.Then, v, hiVar) {
+			return false
+		}
+		if s.Else != nil && !c.loopBodySafe(s.Else, v, hiVar) {
+			return false
+		}
+		return true
+	case *minic.WhileStmt:
+		if !c.hoistExprSafe(s.Cond, v, hiVar) {
+			return false
+		}
+		return s.Body == nil || c.loopBodySafe(s.Body, v, hiVar)
+	case *minic.ForStmt:
+		if s.Init != nil && !c.loopBodySafe(s.Init, v, hiVar) {
+			return false
+		}
+		if s.Cond != nil && !c.hoistExprSafe(s.Cond, v, hiVar) {
+			return false
+		}
+		if s.Post != nil && !c.hoistExprSafe(s.Post, v, hiVar) {
+			return false
+		}
+		return s.Body == nil || c.loopBodySafe(s.Body, v, hiVar)
+	default:
+		// break, continue, return, anything unrecognized.
+		return false
+	}
+}
+
+func (c *compiler) hoistExprSafe(e minic.Expr, v, hiVar *minic.VarDecl) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *minic.NumberLit, *minic.StringLit, *minic.VarRef:
+		return true
+	case *minic.Unary:
+		return c.hoistExprSafe(e.X, v, hiVar) // reads only (& / * rvalues)
+	case *minic.Cast:
+		return c.hoistExprSafe(e.X, v, hiVar)
+	case *minic.Binary:
+		return c.hoistExprSafe(e.X, v, hiVar) && c.hoistExprSafe(e.Y, v, hiVar)
+	case *minic.Index:
+		return c.hoistExprSafe(e.Base, v, hiVar) && c.hoistExprSafe(e.Index, v, hiVar)
+	case *minic.IncDec:
+		vr, ok := e.X.(*minic.VarRef)
+		if !ok {
+			return false // read-modify-write through memory
+		}
+		return vr.Decl != v && vr.Decl != hiVar
+	case *minic.Call:
+		// Builtins cannot write program variables. Other functions can
+		// write globals, which only matters for a variable trip count.
+		if !minic.IsBuiltin(e.Name) && hiVar != nil {
+			return false
+		}
+		for _, a := range e.Args {
+			if !c.hoistExprSafe(a, v, hiVar) {
+				return false
+			}
+		}
+		return true
+	case *minic.Assign:
+		switch lhs := e.LHS.(type) {
+		case *minic.VarRef:
+			if lhs.Decl == v || lhs.Decl == hiVar {
+				return false
+			}
+			return c.hoistExprSafe(e.RHS, v, hiVar)
+		case *minic.Index:
+			// A store through a direct array reference is bound-checked
+			// inside a loop (software or segment), so it stays inside
+			// the array; pointer or computed bases can land anywhere.
+			d := refObject(lhs.Base)
+			if d == nil || d.Type.Kind != minic.TypeArray {
+				return false
+			}
+			return c.hoistExprSafe(lhs.Index, v, hiVar) && c.hoistExprSafe(e.RHS, v, hiVar)
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+}
+
+// enterHoistLoop opens a hoisting candidate when the For statement has
+// the counted shape; called after the loop condition lowers (references
+// in the condition belong to enclosing candidates).
+func (c *compiler) enterHoistLoop(s *minic.ForStmt, lp *ir.Loop) *hoistCand {
+	if !c.wantHoist {
+		return nil
+	}
+	cl, ok := c.matchCountedLoop(s)
+	if !ok {
+		return nil
+	}
+	cand := &hoistCand{cl: cl, loop: lp, groups: make(map[*minic.VarDecl][]int)}
+	c.hoistCands = append(c.hoistCands, cand)
+	return cand
+}
+
+// leaveHoistLoop closes the candidate and records it for the pass when
+// it captured any checks.
+func (c *compiler) leaveHoistLoop(cand *hoistCand) {
+	if cand == nil {
+		return
+	}
+	c.hoistCands = c.hoistCands[:len(c.hoistCands)-1]
+	if len(cand.groups) > 0 && c.curFn != nil {
+		c.curFn.hoists = append(c.curFn.hoists, cand)
+	}
+}
+
+// noteHoistRef, called for every checked declared-object reference,
+// records the check when it qualifies: direct array indexed exactly by
+// the innermost candidate's induction variable, at conditional depth 0.
+func (c *compiler) noteHoistRef(d *minic.VarDecl, idx minic.Expr, idxConst int32, idxReg bool, id int) {
+	if !c.wantHoist || len(c.hoistCands) == 0 {
+		return
+	}
+	top := c.hoistCands[len(c.hoistCands)-1]
+	if top.depth != 0 {
+		return
+	}
+	if d == nil || d.Type.Kind != minic.TypeArray {
+		return
+	}
+	if !idxReg || idxConst != 0 {
+		return
+	}
+	vr, ok := idx.(*minic.VarRef)
+	if !ok || vr.Decl != top.cl.v {
+		return
+	}
+	if _, seen := top.groups[d]; !seen {
+		top.order = append(top.order, d)
+	}
+	top.groups[d] = append(top.groups[d], id)
+}
+
+// ---------------------------------------------------------------------
+// The transform.
+
+type hoistPass struct{}
+
+func (hoistPass) Name() string { return "hoist" }
+
+func (hoistPass) run(c *compiler, m *ir.Module) error {
+	c.stats[StatChecksHoisted] += 0 // the key is present whenever the pass ran
+	for _, fs := range c.fns {
+		if len(fs.hoists) == 0 {
+			continue
+		}
+		c.hoistFunc(fs)
+	}
+	return nil
+}
+
+func (c *compiler) hoistFunc(fs *fnState) {
+	// The preheader emission helpers address the function's frame.
+	c.fn = fs.fn
+	c.frameOff = fs.frameOff
+
+	// Pre-transform dominators and check head blocks: a check may only
+	// hoist if its block dominates the loop latch (it executes on every
+	// iteration) — the CFG-level restatement of the depth-0 tracking.
+	g := fs.frag.BuildCFG()
+	dom := g.Dominators()
+	headBlock := make(map[int]*ir.Block)
+	for _, blk := range fs.frag.Blocks {
+		for i := range blk.Instrs {
+			if id := blk.Instrs[i].CheckID; id != 0 && headBlock[id] == nil {
+				headBlock[id] = blk
+			}
+		}
+	}
+	for _, cand := range fs.hoists {
+		c.applyHoist(fs, cand, dom, headBlock)
+	}
+}
+
+// hoistEndpointsOK rejects groups whose scaled endpoints leave the range
+// 32-bit address arithmetic represents exactly.
+func hoistEndpointsOK(d *minic.VarDecl, cl countedLoop) bool {
+	elem := int64(d.Type.Elem.Size())
+	lo := int64(cl.lo) * elem
+	if lo < -(1<<30) || lo > 1<<30 {
+		return false
+	}
+	if cl.hiVar != nil {
+		return true // runtime overflow guard covers the high endpoint
+	}
+	last := int64(cl.hiConst)
+	if !cl.incl {
+		last--
+	}
+	hi := last * elem
+	return hi >= -(1<<30) && hi <= 1<<30
+}
+
+func (c *compiler) applyHoist(fs *fnState, cand *hoistCand, dom map[*ir.Block]map[*ir.Block]bool, headBlock map[int]*ir.Block) {
+	latchDom := dom[cand.loop.Latch]
+	if latchDom == nil {
+		return // latch unreachable; leave the loop alone
+	}
+	cl := cand.cl
+
+	// A constant-bound loop that runs zero times: its body checks are
+	// dead code — delete them with no preheader.
+	emptyConst := false
+	if cl.hiVar == nil {
+		last := int64(cl.hiConst)
+		if !cl.incl {
+			last--
+		}
+		emptyConst = last < int64(cl.lo)
+	}
+
+	type group struct {
+		d   *minic.VarDecl
+		ids []int
+	}
+	var groups []group
+	for _, d := range cand.order {
+		var ids []int
+		for _, id := range cand.groups[d] {
+			if c.deadChecks[id] {
+				continue
+			}
+			hb := headBlock[id]
+			if hb == nil || !latchDom[hb] {
+				continue
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		if !emptyConst && !hoistEndpointsOK(d, cl) {
+			continue
+		}
+		groups = append(groups, group{d, ids})
+	}
+	if len(groups) == 0 {
+		return
+	}
+
+	removed := make(map[int]bool)
+	for _, gr := range groups {
+		for _, id := range gr.ids {
+			removed[id] = true
+		}
+	}
+	for _, blk := range fs.frag.Blocks {
+		kept := blk.Instrs[:0]
+		for _, iin := range blk.Instrs {
+			if iin.CheckID != 0 && removed[iin.CheckID] {
+				continue
+			}
+			kept = append(kept, iin)
+		}
+		blk.Instrs = kept
+	}
+	fs.frag.Compact()
+	for id := range removed {
+		c.deadChecks[id] = true
+	}
+	c.stats[StatSWChecks] -= uint64(len(removed))
+	c.stats[StatChecksHoisted] += uint64(len(removed))
+
+	if emptyConst {
+		return
+	}
+
+	elemOf := func(d *minic.VarDecl) int32 { return int32(d.Type.Elem.Size()) }
+	blocks := c.b.Detour(func() {
+		if cl.hiVar != nil {
+			skip := c.lbl("hsk")
+			c.b.Op(vm.MOV, vm.R(vm.EAX), vm.M(c.slotRef(cl.hiVar, 0)))
+			c.b.Op(vm.CMP, vm.R(vm.EAX), vm.I(cl.lo))
+			if cl.incl {
+				c.b.Jump(vm.JL, skip) // v <= H runs zero times iff H < lo
+			} else {
+				c.b.Jump(vm.JLE, skip) // v < H runs zero times iff H <= lo
+			}
+			// Overflow guard: a final index at or past 2^30/elem is
+			// always out of bounds, and the loop's unconditional
+			// reference was going to reach the (much smaller) true bound
+			// and trap — so trap now rather than let the scaled address
+			// computation wrap.
+			guard := int32(1 << 30)
+			for _, gr := range groups {
+				if g := (int32(1) << 30) / elemOf(gr.d); g < guard {
+					guard = g
+				}
+			}
+			c.b.Op(vm.CMP, vm.R(vm.EAX), vm.I(guard))
+			c.b.Jump(vm.JG, "__bounds_trap")
+			for _, gr := range groups {
+				d := gr.d
+				elem := elemOf(d)
+				// Highest referenced address: base + (H-1)*elem
+				// (base + H*elem for "<="). EAX holds H throughout: the
+				// check sequences clobber only ESI/EDI.
+				adj := -elem
+				if cl.incl {
+					adj = 0
+				}
+				c.b.Op(vm.MOV, vm.R(vm.EBX), vm.R(vm.EAX))
+				c.scaleReg(vm.EBX, elem)
+				if d.Storage == minic.StorageGlobal {
+					c.b.Op(vm.ADD, vm.R(vm.EBX), vm.I(int32(d.Addr)+adj))
+				} else {
+					c.b.Op(vm.LEA, vm.R(vm.ECX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.frameOff[d] + adj}))
+					c.b.Op(vm.ADD, vm.R(vm.EBX), vm.R(vm.ECX))
+				}
+				c.emitCheckForDecl(vm.EBX, d)
+				// Lowest referenced address: base + lo*elem.
+				if d.Storage == minic.StorageGlobal {
+					c.b.Op(vm.MOV, vm.R(vm.EBX), vm.I(int32(d.Addr)+cl.lo*elem))
+				} else {
+					c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.frameOff[d] + cl.lo*elem}))
+				}
+				c.emitCheckForDecl(vm.EBX, d)
+			}
+			c.b.Label(skip)
+		} else {
+			last := cl.hiConst
+			if !cl.incl {
+				last--
+			}
+			for _, gr := range groups {
+				d := gr.d
+				elem := int64(elemOf(d))
+				hiOff := int32(int64(last) * elem)
+				loOff := int32(int64(cl.lo) * elem)
+				if d.Storage == minic.StorageGlobal {
+					c.b.Op(vm.MOV, vm.R(vm.EBX), vm.I(int32(d.Addr)+hiOff))
+					c.emitCheckForDecl(vm.EBX, d)
+					c.b.Op(vm.MOV, vm.R(vm.EBX), vm.I(int32(d.Addr)+loOff))
+					c.emitCheckForDecl(vm.EBX, d)
+				} else {
+					c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.frameOff[d] + hiOff}))
+					c.emitCheckForDecl(vm.EBX, d)
+					c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.frameOff[d] + loOff}))
+					c.emitCheckForDecl(vm.EBX, d)
+				}
+			}
+		}
+	})
+	fs.frag.InsertBefore(cand.loop.Header, blocks)
+	// The preheader executes inside every enclosing loop of the
+	// candidate (but not inside the candidate itself).
+	for p := cand.loop.Parent; p != nil; p = p.Parent {
+		p.Blocks = append(p.Blocks, blocks...)
+	}
+}

@@ -11,19 +11,21 @@ import (
 // Function and statement code generation: frames, prologue/epilogue
 // (segment-register save/restore and local-array segment lifecycle, §3.6
 // and §3.7), loop preambles (hoisted segment set-up, §3.3), and control
-// flow.
+// flow. Loops additionally build the IR loop tree (ir.Builder.BeginLoop)
+// and register hoisting candidates for the optional passes.
 
 func (c *compiler) genFunc(fn *minic.FuncDecl) error {
 	c.fn = fn
-	if c.cfg.Mode == vm.ModeCash {
-		c.fa = analyzeFunc(fn, c.segRegs)
-	} else {
-		c.fa = &funcAnalysis{loops: make(map[minic.Stmt]*loopInfo)}
-	}
+	c.fa = c.strat.analyzeFunc(c, fn)
 	c.frameOff = make(map[*minic.VarDecl]int32)
 	c.loopCtxFor = make(map[minic.Stmt]*loopCtx)
 	c.loops = nil
 	c.inLoop = 0
+	c.hoistCands = nil
+	if c.wantHoist {
+		c.addrTaken = make(map[*minic.VarDecl]bool)
+		c.scanAddrTaken(fn.Body)
+	}
 
 	// Parameter slots: pushed right-to-left, so the first parameter is at
 	// EBP+8. Fat pointer parameters occupy 2 (Cash) or 3 (BCC) words.
@@ -43,9 +45,9 @@ func (c *compiler) genFunc(fn *minic.FuncDecl) error {
 		if d.Type.Kind == minic.TypeArray {
 			cur -= int32((d.Type.Size() + 3) &^ 3)
 			c.frameOff[d] = cur
-			if c.cfg.Mode == vm.ModeCash {
-				cur -= vm.InfoStructSize
-				c.localInfo[d] = cur
+			var track bool
+			cur, track = c.strat.localArrayFrame(c, d, cur)
+			if track {
 				localArrays = append(localArrays, d)
 			}
 			return
@@ -86,6 +88,7 @@ func (c *compiler) genFunc(fn *minic.FuncDecl) error {
 	collect(fn.Body)
 
 	// Hoisting slots for the per-loop segment set-up (§3.3).
+	temps := make(map[int32]bool)
 	for stmt, li := range c.fa.loops {
 		lc := &loopCtx{
 			info:    li,
@@ -98,9 +101,11 @@ func (c *compiler) genFunc(fn *minic.FuncDecl) error {
 			}
 			cur -= 4
 			lc.lowSlot[d] = cur
+			temps[cur] = true
 			if !li.modified[d] {
 				cur -= 4
 				lc.relSlot[d] = cur
+				temps[cur] = true
 			}
 		}
 		c.loopCtxFor[stmt] = lc
@@ -109,6 +114,13 @@ func (c *compiler) genFunc(fn *minic.FuncDecl) error {
 
 	// Prologue.
 	c.b.Func(fn.Name)
+	c.curFn = &fnState{
+		fn:       fn,
+		frag:     c.b.CurrentFragment(),
+		frameOff: c.frameOff,
+		temps:    temps,
+	}
+	c.fns = append(c.fns, c.curFn)
 	c.b.Op1(vm.PUSH, vm.R(vm.EBP))
 	c.b.Op(vm.MOV, vm.R(vm.EBP), vm.R(vm.ESP))
 	if frameSize > 0 {
@@ -231,14 +243,20 @@ func (c *compiler) genStmt(s minic.Stmt) error {
 			return err
 		}
 		if s.Then != nil {
-			if err := c.genStmt(s.Then); err != nil {
+			c.condEnter()
+			err := c.genStmt(s.Then)
+			c.condExit()
+			if err != nil {
 				return err
 			}
 		}
 		if s.Else != nil {
 			c.b.Jump(vm.JMP, endLbl)
 			c.b.Label(elseLbl)
-			if err := c.genStmt(s.Else); err != nil {
+			c.condEnter()
+			err := c.genStmt(s.Else)
+			c.condExit()
+			if err != nil {
 				return err
 			}
 		}
@@ -255,7 +273,10 @@ func (c *compiler) genStmt(s minic.Stmt) error {
 		c.inLoop++
 		c.breakLbl = append(c.breakLbl, endLbl)
 		c.contLbl = append(c.contLbl, condLbl)
+		c.condEnter() // body of a nested loop is conditional for outer candidates
+		lp := c.b.BeginLoop()
 		c.b.Label(condLbl)
+		c.b.SetLoopHeader(lp)
 		if err := c.genCondJump(s.Cond, endLbl, false); err != nil {
 			return err
 		}
@@ -265,7 +286,9 @@ func (c *compiler) genStmt(s minic.Stmt) error {
 			}
 		}
 		c.markBackedge(c.b.Jump(vm.JMP, condLbl), s.Body, nil)
+		c.b.EndLoop()
 		c.b.Label(endLbl)
+		c.condExit()
 		c.popLoop(lc)
 		return nil
 
@@ -286,12 +309,18 @@ func (c *compiler) genStmt(s minic.Stmt) error {
 		c.inLoop++
 		c.breakLbl = append(c.breakLbl, endLbl)
 		c.contLbl = append(c.contLbl, postLbl)
+		c.condEnter()
+		lp := c.b.BeginLoop()
 		c.b.Label(condLbl)
+		c.b.SetLoopHeader(lp)
 		if s.Cond != nil {
 			if err := c.genCondJump(s.Cond, endLbl, false); err != nil {
 				return err
 			}
 		}
+		// The loop's own hoist candidacy starts here, after its condition:
+		// references in the condition belong to enclosing candidates.
+		cand := c.enterHoistLoop(s, lp)
 		if s.Body != nil {
 			if err := c.genStmt(s.Body); err != nil {
 				return err
@@ -303,8 +332,11 @@ func (c *compiler) genStmt(s minic.Stmt) error {
 				return err
 			}
 		}
+		c.leaveHoistLoop(cand)
 		c.markBackedge(c.b.Jump(vm.JMP, condLbl), s.Body, s)
+		c.b.EndLoop()
 		c.b.Label(endLbl)
+		c.condExit()
 		c.popLoop(lc)
 		return nil
 
@@ -394,13 +426,7 @@ func (c *compiler) genLocalDecl(d *minic.VarDecl) error {
 		}
 		c.b.Emit(vm.Instr{Op: vm.MOV, Dst: vm.M(c.slotRef(d, 0)), Src: vm.R(vm.EAX), Size: accSize(d.Type)})
 		if d.Type.Kind == minic.TypePointer {
-			switch c.cfg.Mode {
-			case vm.ModeCash:
-				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 4)), vm.R(vm.EDX))
-			case vm.ModeBCC:
-				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 4)), vm.R(vm.EDX))
-				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 8)), vm.R(vm.ECX))
-			}
+			c.strat.storePointerMeta(c, d)
 		}
 		return nil
 
@@ -408,13 +434,7 @@ func (c *compiler) genLocalDecl(d *minic.VarDecl) error {
 		// Uninitialised pointer variables get "unchecked" metadata so a
 		// stray use cannot confuse the segment machinery.
 		if d.Type.Kind == minic.TypePointer {
-			switch c.cfg.Mode {
-			case vm.ModeCash:
-				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 4)), vm.I(int32(c.univInfo)))
-			case vm.ModeBCC:
-				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 4)), vm.I(0))
-				c.b.Op(vm.MOV, vm.M(c.slotRef(d, 8)), vm.I(-1))
-			}
+			c.strat.storeUncheckedPointerMeta(c, d)
 		}
 		return nil
 	}

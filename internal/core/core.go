@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"cash/internal/codegen"
+	"cash/internal/ir"
 	"cash/internal/ldt"
 	"cash/internal/minic"
 	"cash/internal/obs"
@@ -79,6 +80,12 @@ type Options struct {
 	// followed by an unmapped page. Enables paging. Detects heap
 	// overruns only, at a two-pages-per-allocation space cost.
 	ElectricFence bool
+	// Passes names the IR optimization passes to run in the back end
+	// (see codegen.PassNames): "rce" eliminates redundant software
+	// checks, "hoist" moves loop-invariant checks into a preheader.
+	// Order and duplicates are normalised away; empty keeps the output
+	// byte-identical to the historical direct back end.
+	Passes []string
 	// StepLimit bounds execution; 0 means the VM default.
 	StepLimit uint64
 	// EventTrace, when non-nil, receives structured machine events
@@ -101,11 +108,40 @@ func (o Options) segRegs() ([]x86seg.SegReg, error) {
 	}
 }
 
+// NormalizePasses canonicalises a pass list: known names only, each at
+// most once, in the registry's execution order. The serving layer hashes
+// the result into artifact content addresses, so "hoist,rce" and
+// ["rce","hoist"] share one cache entry.
+func NormalizePasses(passes []string) ([]string, error) {
+	want := make(map[string]bool, len(passes))
+	for _, name := range passes {
+		known := false
+		for _, p := range codegen.PassNames() {
+			if p == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("core: unknown pass %q (have %v)", name, codegen.PassNames())
+		}
+		want[name] = true
+	}
+	var out []string
+	for _, p := range codegen.PassNames() {
+		if want[p] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
 // Artifact is a compiled program for one mode.
 type Artifact struct {
 	Mode    Mode
 	Program *vm.Program
 	AST     *minic.Program
+	ir      *ir.Module
 	opts    Options
 }
 
@@ -122,17 +158,23 @@ func Build(source string, mode Mode, opts Options) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, err := codegen.Compile(ast, codegen.Config{
+	passes, err := NormalizePasses(opts.Passes)
+	if err != nil {
+		return nil, err
+	}
+	opts.Passes = passes
+	prog, mod, err := codegen.CompileIR(ast, codegen.Config{
 		Mode:           mode,
 		SegRegs:        regs,
 		SkipReadChecks: opts.SkipReadChecks,
 		UseBoundInstr:  opts.UseBoundInstr,
+		Passes:         passes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	countBuild(mode)
-	return &Artifact{Mode: mode, Program: prog, AST: ast, opts: opts}, nil
+	return &Artifact{Mode: mode, Program: prog, AST: ast, ir: mod, opts: opts}, nil
 }
 
 // CodeSize returns the estimated binary text size in bytes.
@@ -153,6 +195,9 @@ func (a *Artifact) WithEventTrace(tr *obs.Trace) *Artifact {
 
 // StaticStats exposes the code generator's static counters.
 func (a *Artifact) StaticStats() map[string]uint64 { return a.Program.Stats }
+
+// DumpIR renders the optimized IR module the program was emitted from.
+func (a *Artifact) DumpIR() string { return a.ir.Dump() }
 
 // Disassemble renders the generated code.
 func (a *Artifact) Disassemble() string { return a.Program.Disassemble() }

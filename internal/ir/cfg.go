@@ -1,0 +1,144 @@
+package ir
+
+import "cash/internal/vm"
+
+// CFG is the control-flow graph of one fragment. Edges that leave the
+// fragment (the jump into the shared trap sink, returns, halts) have no
+// successor; a conditional jump out of the fragment keeps only its
+// fall-through edge.
+type CFG struct {
+	Frag  *Fragment
+	Succs map[*Block][]*Block
+	Preds map[*Block][]*Block
+}
+
+// BuildCFG computes the fragment's control-flow graph from block
+// layout, terminators and label targets.
+func (f *Fragment) BuildCFG() *CFG {
+	byLabel := make(map[string]*Block)
+	for _, b := range f.Blocks {
+		for _, l := range b.Labels {
+			byLabel[l] = b
+		}
+	}
+	g := &CFG{
+		Frag:  f,
+		Succs: make(map[*Block][]*Block, len(f.Blocks)),
+		Preds: make(map[*Block][]*Block, len(f.Blocks)),
+	}
+	for i, b := range f.Blocks {
+		var succs []*Block
+		fallthru := func() {
+			if i+1 < len(f.Blocks) {
+				succs = append(succs, f.Blocks[i+1])
+			}
+		}
+		if n := len(b.Instrs); n == 0 {
+			fallthru()
+		} else {
+			last := &b.Instrs[n-1]
+			switch {
+			case last.Op == vm.JMP:
+				if t := byLabel[last.FixupLabel]; t != nil {
+					succs = append(succs, t)
+				}
+			case IsCondJump(last.Op):
+				if t := byLabel[last.FixupLabel]; t != nil {
+					succs = append(succs, t)
+				}
+				fallthru()
+			case IsUncondExit(last.Op):
+				// RET/HLT/TRAP: no successor.
+			default:
+				fallthru()
+			}
+		}
+		g.Succs[b] = succs
+		for _, s := range succs {
+			g.Preds[s] = append(g.Preds[s], b)
+		}
+	}
+	return g
+}
+
+// Dominators computes, for every block reachable from the fragment
+// entry (the first block), its dominator set, with the straightforward
+// iterative dataflow — fragments are small, so O(n²) is fine.
+// Unreachable blocks are absent from the result.
+func (g *CFG) Dominators() map[*Block]map[*Block]bool {
+	blocks := g.Frag.Blocks
+	if len(blocks) == 0 {
+		return nil
+	}
+	entry := blocks[0]
+	// Reachable set, depth-first.
+	reach := map[*Block]bool{entry: true}
+	stack := []*Block{entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs[b] {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	dom := make(map[*Block]map[*Block]bool, len(blocks))
+	dom[entry] = map[*Block]bool{entry: true}
+	for _, b := range blocks {
+		if b == entry || !reach[b] {
+			continue
+		}
+		all := make(map[*Block]bool, len(blocks))
+		for _, x := range blocks {
+			if reach[x] {
+				all[x] = true
+			}
+		}
+		dom[b] = all
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			if b == entry || !reach[b] {
+				continue
+			}
+			var meet map[*Block]bool
+			for _, p := range g.Preds[b] {
+				if !reach[p] {
+					continue
+				}
+				if meet == nil {
+					meet = make(map[*Block]bool, len(dom[p]))
+					for d := range dom[p] {
+						meet[d] = true
+					}
+					continue
+				}
+				for d := range meet {
+					if !dom[p][d] {
+						delete(meet, d)
+					}
+				}
+			}
+			if meet == nil {
+				meet = make(map[*Block]bool)
+			}
+			meet[b] = true
+			if len(meet) != len(dom[b]) {
+				dom[b] = meet
+				changed = true
+				continue
+			}
+			for d := range meet {
+				if !dom[b][d] {
+					dom[b] = meet
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}

@@ -1,0 +1,57 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the module as a human-readable listing, one fragment per
+// section, blocks numbered in layout order with their labels, loop
+// depth, check-id and tag annotations. cashrun -dump-ir prints it.
+func (m *Module) Dump() string {
+	var sb strings.Builder
+	for _, f := range m.Frags {
+		kind := "fragment"
+		if f.IsFunc {
+			kind = "func"
+		}
+		fmt.Fprintf(&sb, "%s %s  (%d blocks, %d loops)\n", kind, f.Name, len(f.Blocks), len(f.Loops))
+		depth := loopDepths(f)
+		for bi, b := range f.Blocks {
+			fmt.Fprintf(&sb, "  b%d:", bi)
+			for _, l := range b.Labels {
+				fmt.Fprintf(&sb, " %s", l)
+			}
+			if d := depth[b]; d > 0 {
+				fmt.Fprintf(&sb, "  ; loop depth %d", d)
+			}
+			sb.WriteByte('\n')
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				fmt.Fprintf(&sb, "    %s", in.Instr.String())
+				if in.CheckID != 0 {
+					fmt.Fprintf(&sb, "  ; check %d", in.CheckID)
+				}
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String()
+}
+
+// loopDepths computes each block's innermost loop depth.
+func loopDepths(f *Fragment) map[*Block]int {
+	depth := make(map[*Block]int)
+	for _, l := range f.Loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		for _, b := range l.Blocks {
+			if d > depth[b] {
+				depth[b] = d
+			}
+		}
+	}
+	return depth
+}

@@ -1,0 +1,111 @@
+package ir
+
+import "fmt"
+
+// Verify checks the module's structural invariants. The compiler runs
+// it after lowering and after every optimization pass, so a pass that
+// corrupts the representation fails loudly instead of miscompiling:
+//
+//   - labels are unique module-wide and every branch target resolves;
+//   - branches carry their symbolic target and only a block's last
+//     instruction may transfer control away (calls may sit anywhere);
+//   - every fragment ends in an instruction control cannot fall out of;
+//   - the instructions of one check id form one contiguous run;
+//   - the loop tree is consistent: header and latch are members, every
+//     member belongs to the fragment, and nested loops are contained in
+//     their parents.
+func Verify(m *Module) error {
+	labels := make(map[string]string) // label -> fragment name
+	for _, f := range m.Frags {
+		blockSet := make(map[*Block]bool, len(f.Blocks))
+		for _, b := range f.Blocks {
+			blockSet[b] = true
+			for _, l := range b.Labels {
+				if prev, dup := labels[l]; dup {
+					return fmt.Errorf("ir: label %q bound in both %q and %q", l, prev, f.Name)
+				}
+				labels[l] = f.Name
+			}
+		}
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.IsBranch() {
+					if in.FixupLabel == "" {
+						return fmt.Errorf("ir: %s block %d instr %d: %s without a symbolic target", f.Name, bi, ii, in.Op)
+					}
+				} else if in.FixupLabel != "" {
+					return fmt.Errorf("ir: %s block %d instr %d: non-branch %s carries target %q", f.Name, bi, ii, in.Op, in.FixupLabel)
+				}
+				if EndsBlock(in.Op) && ii != len(b.Instrs)-1 {
+					return fmt.Errorf("ir: %s block %d: %s at %d is not the block's last instruction", f.Name, bi, in.Op, ii)
+				}
+			}
+		}
+		if n := len(f.Blocks); n > 0 {
+			last := f.Blocks[n-1]
+			if len(last.Instrs) == 0 || !IsUncondExit(last.Instrs[len(last.Instrs)-1].Op) {
+				return fmt.Errorf("ir: fragment %q does not end in an unconditional exit", f.Name)
+			}
+		}
+		if err := verifyCheckRuns(f); err != nil {
+			return err
+		}
+		for li, l := range f.Loops {
+			if l.Header == nil || l.Latch == nil {
+				return fmt.Errorf("ir: %s loop %d: missing header or latch", f.Name, li)
+			}
+			if !l.Contains(l.Header) || !l.Contains(l.Latch) {
+				return fmt.Errorf("ir: %s loop %d: header or latch not a member", f.Name, li)
+			}
+			for _, b := range l.Blocks {
+				if !blockSet[b] {
+					return fmt.Errorf("ir: %s loop %d: member block not in fragment", f.Name, li)
+				}
+				if l.Parent != nil && !l.Parent.Contains(b) {
+					return fmt.Errorf("ir: %s loop %d: member block not in parent loop", f.Name, li)
+				}
+			}
+		}
+	}
+	for _, f := range m.Frags {
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.FixupLabel != "" {
+					if _, ok := labels[in.FixupLabel]; !ok {
+						return fmt.Errorf("ir: %s block %d instr %d: unresolved target %q", f.Name, bi, ii, in.FixupLabel)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// verifyCheckRuns checks that each nonzero check id covers exactly one
+// contiguous run of the fragment's layout-order instruction stream —
+// the property that makes "delete every instruction with this id" a
+// well-defined transformation.
+func verifyCheckRuns(f *Fragment) error {
+	closed := make(map[int]bool)
+	cur := 0
+	for bi, b := range f.Blocks {
+		for ii := range b.Instrs {
+			id := b.Instrs[ii].CheckID
+			if id == cur {
+				continue
+			}
+			if cur != 0 {
+				closed[cur] = true
+			}
+			if id != 0 {
+				if closed[id] {
+					return fmt.Errorf("ir: %s block %d instr %d: check %d is not contiguous", f.Name, bi, ii, id)
+				}
+			}
+			cur = id
+		}
+	}
+	return nil
+}

@@ -35,6 +35,14 @@ func buildKey(source string, mode core.Mode, opts core.Options) string {
 	binary.LittleEndian.PutUint64(fixed[16:], opts.StepLimit)
 	binary.LittleEndian.PutUint64(fixed[24:], uint64(len(source)))
 	h.Write(fixed[:])
+	// Optimization passes change the emitted program, so they are part
+	// of the content address. The engine normalised the list before
+	// keying (core.NormalizePasses), so equivalent spellings collide.
+	for _, p := range opts.Passes {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	h.Write([]byte{0xff})
 	h.Write([]byte(source))
 	return hex.EncodeToString(h.Sum(nil))
 }

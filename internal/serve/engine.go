@@ -189,6 +189,11 @@ func (e *Engine) BuildContext(ctx context.Context, source string, mode core.Mode
 	}
 	reqTrace := opts.EventTrace
 	opts.EventTrace = nil
+	passes, err := core.NormalizePasses(opts.Passes)
+	if err != nil {
+		return nil, err
+	}
+	opts.Passes = passes
 	key := buildKey(source, mode, opts)
 
 	if art, ok := e.cache.getArtifact(key); ok {

@@ -87,6 +87,14 @@ func (b *Builder) Call(name string) int {
 	return idx
 }
 
+// Fixup registers a symbolic branch target for an already-emitted
+// instruction, exactly as Jump and Call do for the instructions they
+// emit. Replaying a prebuilt instruction stream (ir.Module.EmitTo) uses
+// it to re-enter the label-resolution machinery.
+func (b *Builder) Fixup(idx int, label string) {
+	b.fixups = append(b.fixups, fixup{instr: idx, label: label})
+}
+
 // Len returns the number of instructions emitted so far.
 func (b *Builder) Len() int { return len(b.instrs) }
 
