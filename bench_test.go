@@ -7,6 +7,7 @@ package cash
 // numbers alongside the incidental wall-clock cost of simulation.
 
 import (
+	"flag"
 	"testing"
 
 	"cash/internal/bench"
@@ -16,6 +17,11 @@ import (
 	"cash/internal/workload"
 	"cash/internal/x86seg"
 )
+
+// -tier2 runs the benchmarks under superblock execution (Options.Tier2),
+// the BENCH_6.json comparison axis. Simulated metrics are identical
+// either way; only host ns/op moves.
+var benchTier2 = flag.Bool("tier2", false, "benchmark with tier-2 superblock execution")
 
 // reportComparison attaches the paper's metrics to a benchmark.
 func reportComparison(b *testing.B, cmp *core.Comparison) {
@@ -36,7 +42,7 @@ func BenchmarkTable1Kernels(b *testing.B) {
 			var cmp *core.Comparison
 			var err error
 			for i := 0; i < b.N; i++ {
-				cmp, err = core.Compare(w.Name, w.Source, core.Options{SegRegs: 4})
+				cmp, err = core.Compare(w.Name, w.Source, core.Options{SegRegs: 4, Tier2: *benchTier2})
 				if err != nil {
 					b.Fatal(err)
 				}

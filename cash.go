@@ -391,6 +391,21 @@ func AllTablesTimed(requests int) ([]*ResultTable, []TableTiming, error) {
 // checked-in goldens pin both settings.
 func SetBenchPasses(passes []string) { bench.SetPasses(passes) }
 
+// SetBenchTier2 switches every table generator onto the tier-2
+// superblock engine (`cashbench -tier2`). Tier-2 execution is
+// output-identical to step execution, so the goldens must not change —
+// CI diffs the tier-2 suite against the same goldens to prove it.
+func SetBenchTier2(on bool) { bench.SetTier2(on) }
+
+// KernelTiming is one Table 1 kernel's measured host cost under the
+// current bench configuration (see SetBenchPasses / SetBenchTier2).
+type KernelTiming = bench.KernelTiming
+
+// KernelHostTimings times `runs` complete executions of each Table 1
+// kernel and reports the median host ns per run — the per-kernel block
+// `cashbench -json` emits for BENCH_*.json records.
+func KernelHostTimings(runs int) ([]KernelTiming, error) { return bench.KernelHostTimings(runs) }
+
 // SetParallelism bounds how many experiments the benchmark harness runs
 // concurrently (default: GOMAXPROCS). 1 forces sequential execution.
 //

@@ -77,11 +77,32 @@ type tableTimingJSON struct {
 	InstrPerSec     float64 `json:"sim_instr_per_sec"`
 }
 
+// sbCountersJSON is the tier-2 superblock activity this process
+// accumulated (zero across the board when -tier2 is off).
+type sbCountersJSON struct {
+	Compiled      uint64 `json:"compiled"`
+	Entries       uint64 `json:"entries"`
+	Deopts        uint64 `json:"deopts"`
+	InstrsRetired uint64 `json:"instrs_retired"`
+}
+
+// kernelTimingJSON is one Table 1 kernel's median host cost per
+// complete run — the numbers BENCH_*.json speedup records are built
+// from.
+type kernelTimingJSON struct {
+	Kernel          string `json:"kernel"`
+	HostNSPerOp     int64  `json:"host_ns_per_op"`
+	SimInstructions uint64 `json:"sim_instructions"`
+}
+
 type timingReportJSON struct {
-	Requests    int               `json:"requests"`
-	Parallelism int               `json:"parallelism"`
-	TotalHostNS int64             `json:"total_host_ns"`
-	Tables      []tableTimingJSON `json:"tables"`
+	Requests    int                `json:"requests"`
+	Parallelism int                `json:"parallelism"`
+	Tier2       bool               `json:"tier2"`
+	TotalHostNS int64              `json:"total_host_ns"`
+	SB          sbCountersJSON     `json:"sb"`
+	Tables      []tableTimingJSON  `json:"tables"`
+	Kernels     []kernelTimingJSON `json:"kernels"`
 }
 
 func run() (err error) {
@@ -104,6 +125,7 @@ func run() (err error) {
 		noCache     = flag.Bool("no-cache", false, "disable the Engine's artifact/run cache")
 		noPool      = flag.Bool("no-pool", false, "disable the Engine's machine pool")
 		passesFlag  = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist) applied to every experiment")
+		tier2       = flag.Bool("tier2", false, "execute every experiment through the tier-2 superblock engine (tables stay byte-identical)")
 	)
 	flag.Parse()
 
@@ -116,6 +138,7 @@ func run() (err error) {
 		}
 		cash.SetBenchPasses(passes)
 	}
+	cash.SetBenchTier2(*tier2)
 
 	// The deprecated global still steers code without an Engine in hand
 	// (and Engines built with a zero Parallelism, like the resilience
@@ -242,7 +265,13 @@ func run() (err error) {
 		elapsed := time.Since(start)
 		reportThroughput(elapsed)
 		if *jsonPath != "" {
-			if err := writeTimings(*jsonPath, *requests, *parallel, elapsed, timings); err != nil {
+			// The per-kernel host timings run after the suite so their
+			// wall-clock measurement shares the host with nothing else.
+			kernels, kerr := cash.KernelHostTimings(5)
+			if kerr != nil {
+				return kerr
+			}
+			if err := writeTimings(*jsonPath, *requests, *parallel, *tier2, elapsed, timings, kernels); err != nil {
 				return err
 			}
 		}
@@ -311,12 +340,28 @@ func reportThroughput(elapsed time.Duration) {
 		instrs, cycles, elapsed.Seconds(), rate/1e6)
 }
 
-func writeTimings(path string, requests, parallel int, elapsed time.Duration, timings []cash.TableTiming) error {
+func writeTimings(path string, requests, parallel int, tier2 bool, elapsed time.Duration, timings []cash.TableTiming, kernels []cash.KernelTiming) error {
+	sbCompiled, sbEntries, sbDeopts, sbRetired := vm.SBCounters()
 	rep := timingReportJSON{
 		Requests:    requests,
 		Parallelism: parallel,
+		Tier2:       tier2,
 		TotalHostNS: elapsed.Nanoseconds(),
-		Tables:      make([]tableTimingJSON, 0, len(timings)),
+		SB: sbCountersJSON{
+			Compiled:      sbCompiled,
+			Entries:       sbEntries,
+			Deopts:        sbDeopts,
+			InstrsRetired: sbRetired,
+		},
+		Tables:  make([]tableTimingJSON, 0, len(timings)),
+		Kernels: make([]kernelTimingJSON, 0, len(kernels)),
+	}
+	for _, k := range kernels {
+		rep.Kernels = append(rep.Kernels, kernelTimingJSON{
+			Kernel:          k.Name,
+			HostNSPerOp:     k.HostNSPerOp,
+			SimInstructions: k.SimInstructions,
+		})
 	}
 	for _, tm := range timings {
 		rep.Tables = append(rep.Tables, tableTimingJSON{

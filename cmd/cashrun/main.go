@@ -12,6 +12,12 @@
 // codegen counters they affect; -dump-ir prints the optimized IR to
 // stderr before running).
 //
+// -tier2 executes hot regions through the superblock engine
+// (simulated output and counters are identical; only host speed
+// changes); -dump-superblocks prints the compiled traces to stderr and
+// requires -tier2. A tier-2 run reports its superblock activity on the
+// trailing `# superblocks:` line.
+//
 // With -events the run records a structured machine-event trace —
 // segment-register loads, LDT descriptor installs and evictions,
 // allocation/free traffic, faults — and prints it to stderr after the
@@ -59,8 +65,15 @@ func run() (err error) {
 		passes   = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist); empty disables")
 		dumpIR   = flag.Bool("dump-ir", false, "print the optimized IR to stderr before running")
 		stats    = flag.Bool("stats", false, "print static codegen counters after the run")
+		tier2    = flag.Bool("tier2", false, "execute hot regions through the tier-2 superblock engine")
+		dumpSB   = flag.Bool("dump-superblocks", false, "with -tier2, print the compiled superblocks to stderr before running")
 	)
 	flag.Parse()
+
+	// Flag combinations are validated up front, before any compilation.
+	if *dumpSB && !*tier2 {
+		return errors.New("-dump-superblocks requires -tier2")
+	}
 
 	var tr *cash.EventTrace
 	if *events || *eventsJS != "" {
@@ -96,7 +109,7 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	opts := cash.Options{SegRegs: *segRegs, EventTrace: tr, Passes: splitPasses(*passes)}
+	opts := cash.Options{SegRegs: *segRegs, EventTrace: tr, Passes: splitPasses(*passes), Tier2: *tier2}
 
 	if *compare {
 		cmp, err := cash.Compare(name, source, opts)
@@ -125,6 +138,9 @@ func run() (err error) {
 	if *dumpIR {
 		fmt.Fprint(os.Stderr, art.DumpIR())
 	}
+	if *dumpSB {
+		fmt.Fprint(os.Stderr, art.DumpSuperblocks())
+	}
 	res, err := art.Run()
 	if err != nil {
 		return err
@@ -141,6 +157,10 @@ func run() (err error) {
 				fmt.Printf("# static %s=%d\n", k, v)
 			}
 		}
+	}
+	if res.SB != nil {
+		fmt.Printf("# superblocks: compiled=%d entries=%d deopts=%d instrs-retired=%d\n",
+			res.SB.Compiled, res.SB.Entries, res.SB.Deopts, res.SB.InstrsRetired)
 	}
 	fmt.Printf("# segments: peak-live=%d allocs=%d cache-hits=%d kernel-entries=%d\n",
 		res.LDTStats.PeakLive, res.LDTStats.AllocRequests,

@@ -17,6 +17,7 @@ import (
 var (
 	passMu        sync.RWMutex
 	harnessPasses []string
+	harnessTier2  bool
 )
 
 // SetPasses configures the IR optimization passes every experiment in
@@ -37,13 +38,36 @@ func Passes() []string {
 	return append([]string(nil), harnessPasses...)
 }
 
-// opt stamps the harness-wide pass configuration onto one experiment's
-// build options.
+// SetTier2 configures whether every experiment in this package executes
+// through the tier-2 superblock engine (`cashbench -tier2`). Tier-2 is
+// output-identical to step execution, so the tables must not change —
+// the CI tier-2 lane diffs the suite against the step goldens to prove
+// it. Returns the previous setting.
+func SetTier2(on bool) bool {
+	passMu.Lock()
+	defer passMu.Unlock()
+	prev := harnessTier2
+	harnessTier2 = on
+	return prev
+}
+
+// Tier2 returns the harness-wide tier-2 setting.
+func Tier2() bool {
+	passMu.RLock()
+	defer passMu.RUnlock()
+	return harnessTier2
+}
+
+// opt stamps the harness-wide pass and tier configuration onto one
+// experiment's build options.
 func opt(o core.Options) core.Options {
 	passMu.RLock()
 	defer passMu.RUnlock()
 	if len(harnessPasses) > 0 && o.Passes == nil {
 		o.Passes = harnessPasses
+	}
+	if harnessTier2 {
+		o.Tier2 = true
 	}
 	return o
 }
@@ -103,7 +127,10 @@ type passMeasurement struct {
 
 func measurePasses(ctx context.Context, eng *serve.Engine, w workload.Workload, passes []string) (passMeasurement, error) {
 	var m passMeasurement
-	art, err := eng.BuildContext(ctx, w.Source, core.ModeBCC, core.Options{Passes: passes})
+	// Deliberately not opt(): the ablation's off-arm must stay pass-free
+	// even under `cashbench -passes`. The tier setting still applies —
+	// tier-2 is execution strategy, not code shape.
+	art, err := eng.BuildContext(ctx, w.Source, core.ModeBCC, core.Options{Passes: passes, Tier2: Tier2()})
 	if err != nil {
 		return m, err
 	}

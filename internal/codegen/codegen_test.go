@@ -24,10 +24,10 @@ func compile(t *testing.T, src string, cfg Config) *vm.Program {
 	return p
 }
 
-func runMode(t *testing.T, src string, cfg Config) (*vm.Result, error) {
+func runMode(t *testing.T, src string, cfg Config, extra ...vm.Option) (*vm.Result, error) {
 	t.Helper()
 	p := compile(t, src, cfg)
-	m, err := vm.New(p, cfg.Mode)
+	m, err := vm.New(p, cfg.Mode, extra...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -177,6 +177,10 @@ func CompileIR(prog *minic.Program, cfg Config) (*vm.Program, *ir.Module, error)
 	for k, v := range c.stats {
 		p.Stats[k] = v
 	}
+	// Superblock hints for tier-2 execution: advisory loop spans in the
+	// exact offsets the EmitTo replay above assigned. Attached for every
+	// build — whether a machine uses them is a run option (Options.Tier2).
+	p.Regions = mod.SuperblockHints()
 	return p, mod, nil
 }
 

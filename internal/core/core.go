@@ -8,10 +8,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"cash/internal/codegen"
 	"cash/internal/ir"
 	"cash/internal/ldt"
+	"cash/internal/mem"
 	"cash/internal/minic"
 	"cash/internal/obs"
 	"cash/internal/vm"
@@ -88,6 +90,13 @@ type Options struct {
 	Passes []string
 	// StepLimit bounds execution; 0 means the VM default.
 	StepLimit uint64
+	// Tier2 enables superblock execution: the compiler's loop regions
+	// are fused into single closures with bulk counter accounting,
+	// deopting to the step interpreter at precise instruction boundaries
+	// on any fault or side exit. Simulated output, counters and
+	// violation verdicts are identical to step execution; only host
+	// speed changes.
+	Tier2 bool
 	// EventTrace, when non-nil, receives structured machine events
 	// (segment-register loads, descriptor installs/evicts, faults, LDT
 	// traffic) from every machine the artifact creates. Nil — the
@@ -199,6 +208,10 @@ func (a *Artifact) StaticStats() map[string]uint64 { return a.Program.Stats }
 // DumpIR renders the optimized IR module the program was emitted from.
 func (a *Artifact) DumpIR() string { return a.ir.Dump() }
 
+// DumpSuperblocks renders the tier-2 superblocks compiled from the
+// program's region hints (compiling them if no machine has yet).
+func (a *Artifact) DumpSuperblocks() string { return a.Program.DumpSuperblocks() }
+
 // Disassemble renders the generated code.
 func (a *Artifact) Disassemble() string { return a.Program.Disassemble() }
 
@@ -217,6 +230,9 @@ func (a *Artifact) NewMachine(extra ...vm.Option) (*vm.Machine, error) {
 	if a.opts.ElectricFence {
 		opts = append(opts, vm.WithPaging(64<<20), vm.WithElectricFence())
 	}
+	if a.opts.Tier2 {
+		opts = append(opts, vm.WithTier2())
+	}
 	opts = append(opts, extra...)
 	return vm.New(a.Program, a.Mode, opts...)
 }
@@ -232,15 +248,37 @@ type RunResult struct {
 	HeapSpan uint32
 }
 
+// partsPools recycles machine parts (memory arenas, MMU, LDT) between
+// runs, keyed by arena geometry so a pooled part set always fits the
+// program it is handed to. Arena zeroing dominates machine construction;
+// reusing reset parts removes it from the per-run cost.
+var partsPools sync.Map // mem.Geometry -> *sync.Pool
+
+func partsPoolFor(g mem.Geometry) *sync.Pool {
+	if p, ok := partsPools.Load(g); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := partsPools.LoadOrStore(g, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
 // Run executes the artifact on a fresh machine. Detected bound violations
 // are reported in the result, not as an error; any other fault is an
-// error.
+// error. Machine parts are drawn from and returned to a geometry-keyed
+// pool; WithParts resets them before use, so each run still observes
+// fresh-machine semantics.
 func (a *Artifact) Run(extra ...vm.Option) (*RunResult, error) {
+	pool := partsPoolFor(vm.GeometryFor(a.Program))
+	if p, ok := pool.Get().(vm.Parts); ok {
+		extra = append(extra[:len(extra):len(extra)], vm.WithParts(p))
+	}
 	m, err := a.NewMachine(extra...)
 	if err != nil {
 		return nil, err
 	}
-	return a.RunOn(m)
+	res, runErr := a.RunOn(m)
+	pool.Put(m.Parts())
+	return res, runErr
 }
 
 // RunOn executes the artifact on a machine the caller already prepared

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cash/internal/vm"
+	"cash/internal/workload"
+)
+
+// Tier-2 superblock execution must be invisible in everything but host
+// speed: simulated output, cycle and check counters, fault identity and
+// violation verdicts have to match step execution byte for byte, on the
+// happy path and on every deopt path. These tests drive both engines
+// over the same programs — including runs forced to stop or fault at
+// every single instruction offset inside a compiled superblock — and
+// compare the complete results.
+
+// tierPair builds the same program twice: step-only and tier-2.
+func tierPair(t *testing.T, source string, mode Mode, opts Options) (step, tier2 *Artifact) {
+	t.Helper()
+	a1, err := Build(source, mode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Tier2 = true
+	a2, err := Build(source, mode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a1, a2
+}
+
+// runRaw executes one artifact on a fresh machine without the Run
+// classification layer, so faults surface as errors for comparison.
+func runRaw(t *testing.T, art *Artifact, extra ...vm.Option) (*vm.Result, error) {
+	t.Helper()
+	m, err := art.NewMachine(extra...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run()
+}
+
+// compareTiers runs both artifacts under identical machine options and
+// requires the full results — and any faults — to be identical, modulo
+// the tier-2 run's SB stats block.
+func compareTiers(t *testing.T, label string, step, tier2 *Artifact, extra ...vm.Option) {
+	t.Helper()
+	r1, e1 := runRaw(t, step, extra...)
+	r2, e2 := runRaw(t, tier2, extra...)
+	if fmt.Sprint(e1) != fmt.Sprint(e2) || !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("%s: errors differ\n step:  %v\n tier2: %v", label, e1, e2)
+	}
+	if (r1 == nil) != (r2 == nil) {
+		t.Fatalf("%s: one tier returned no result (step=%v tier2=%v)", label, r1 != nil, r2 != nil)
+	}
+	if r1 == nil {
+		return
+	}
+	c2 := *r2
+	c2.SB = nil
+	if !reflect.DeepEqual(*r1, c2) {
+		t.Fatalf("%s: results differ\n step:  %+v\n tier2: %+v", label, *r1, c2)
+	}
+}
+
+// TestTier2Equivalence runs every Table 1 kernel in all three modes
+// under both engines and requires identical results end to end.
+func TestTier2Equivalence(t *testing.T) {
+	for _, w := range workload.Kernels() {
+		for _, mode := range []Mode{ModeGCC, ModeBCC, ModeCash} {
+			a1, a2 := tierPair(t, w.Source, mode, Options{SegRegs: 4})
+			compareTiers(t, fmt.Sprintf("%s/%v", w.Name, mode), a1, a2)
+
+			// The tier-2 run must actually have used superblocks —
+			// equivalence by never entering them proves nothing.
+			r2, err := runRaw(t, a2)
+			if err != nil {
+				t.Fatalf("%s %v tier2: %v", w.Name, mode, err)
+			}
+			if r2.SB == nil || r2.SB.Entries == 0 || r2.SB.InstrsRetired == 0 {
+				t.Fatalf("%s %v: tier-2 run retired nothing in superblocks: %+v", w.Name, mode, r2.SB)
+			}
+		}
+	}
+}
+
+// tier2LoopProgram is small enough to sweep exhaustively but loops
+// enough that most of its execution sits inside compiled superblocks.
+const tier2LoopProgram = `
+int a[8];
+void main() {
+	for (int i = 0; i < 20; i++) {
+		a[i % 8] = a[i % 8] + i;
+	}
+	int s = 0;
+	for (int i = 0; i < 8; i++) s = s + a[i];
+	printi(s);
+}`
+
+// TestTier2StepLimitEveryOffset forces a stop at every instruction
+// boundary of the whole program — including every offset inside each
+// compiled superblock — by sweeping the step limit one instruction at a
+// time. At each limit the tier-2 engine must deopt and deliver the same
+// step-limit fault with the same counters as pure step execution.
+func TestTier2StepLimitEveryOffset(t *testing.T) {
+	for _, mode := range []Mode{ModeGCC, ModeBCC, ModeCash} {
+		a1, a2 := tierPair(t, tier2LoopProgram, mode, Options{})
+		clean, err := runRaw(t, a1)
+		if err != nil {
+			t.Fatalf("%v clean: %v", mode, err)
+		}
+		total := clean.Stats.Instructions
+		for limit := uint64(1); limit <= total+1; limit++ {
+			compareTiers(t, fmt.Sprintf("%v limit=%d", mode, limit), a1, a2,
+				vm.WithStepLimit(limit))
+		}
+	}
+}
+
+// TestTier2DivideFaultInLoop faults with a divide error part-way
+// through a hot loop — a deopt from deep inside a superblock pass —
+// and requires the identical fault and counters from both engines.
+func TestTier2DivideFaultInLoop(t *testing.T) {
+	const src = `
+void main() {
+	int d = 13;
+	int x = 0;
+	for (int i = 0; i < 20; i++) {
+		d = d - 1;
+		x = x + 100 / d;
+	}
+	printi(x);
+}`
+	for _, mode := range []Mode{ModeGCC, ModeBCC, ModeCash} {
+		a1, a2 := tierPair(t, src, mode, Options{})
+		compareTiers(t, fmt.Sprintf("divide/%v", mode), a1, a2)
+	}
+}
+
+// TestTier2ViolationVerdict drives an out-of-bound write from inside a
+// hot loop. The checking modes must deliver the identical violation
+// verdict from both engines, GCC the identical silent corruption.
+func TestTier2ViolationVerdict(t *testing.T) {
+	const src = `
+int a[8];
+int b[8];
+void main() {
+	for (int i = 0; i < 12; i++) {
+		a[i] = i;
+	}
+	printi(b[0]);
+}`
+	for _, mode := range []Mode{ModeGCC, ModeBCC, ModeCash} {
+		a1, a2 := tierPair(t, src, mode, Options{})
+		r1, err1 := a1.Run()
+		r2, err2 := a2.Run()
+		if fmt.Sprint(err1) != fmt.Sprint(err2) {
+			t.Fatalf("%v: run errors differ: %v vs %v", mode, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if (r1.Violation == nil) != (r2.Violation == nil) {
+			t.Fatalf("%v: verdicts differ: step=%v tier2=%v", mode, r1.Violation, r2.Violation)
+		}
+		if mode != ModeGCC && r1.Violation == nil {
+			t.Fatalf("%v: out-of-bound write went undetected", mode)
+		}
+		if r1.Violation != nil && !reflect.DeepEqual(r1.Violation, r2.Violation) {
+			t.Fatalf("%v: violation faults differ\n step:  %+v\n tier2: %+v", mode, r1.Violation, r2.Violation)
+		}
+		c2 := *r2.Result
+		c2.SB = nil
+		if !reflect.DeepEqual(*r1.Result, c2) {
+			t.Fatalf("%v: results differ\n step:  %+v\n tier2: %+v", mode, *r1.Result, c2)
+		}
+	}
+}
+
+// TestTier2ChaosDeoptSites reuses the fault-injection sites of the
+// resilience suite against tier-2 execution: every injected fault must
+// manifest identically — same fault, same counters, same output — as
+// under step execution.
+func TestTier2ChaosDeoptSites(t *testing.T) {
+	a1, a2 := tierPair(t, sitesProgram, ModeCash, Options{StepLimit: 1_000_000})
+	reqAddr := a1.AST.Globals[0].Addr
+	garbage := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	cases := []struct {
+		name  string
+		extra []vm.Option
+	}{
+		{"clean", nil},
+		{"transient-alloc", []vm.Option{vm.WithTransientAllocFault()}},
+		{"descriptor-corruption", []vm.Option{vm.WithDescriptorCorruption(), vm.WithLDTAudit()}},
+		{"shadow-corruption", []vm.Option{vm.WithShadowCorruption(), vm.WithLDTAudit()}},
+		{"poke", []vm.Option{vm.WithPoke(reqAddr, garbage)}},
+		{"page-unmap", []vm.Option{vm.WithPaging(64 << 20), vm.WithPageUnmap(reqAddr)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			compareTiers(t, tc.name, a1, a2, tc.extra...)
+		})
+	}
+}
+
+// TestTier2DumpSuperblocks pins the compiled form of the sweep
+// program's hot loops: region selection and trace layout only change
+// for a reason, and the dump is the first thing a reader sees of the
+// engine.
+func TestTier2DumpSuperblocks(t *testing.T) {
+	art, err := Build(tier2LoopProgram, ModeGCC, Options{Tier2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := art.DumpSuperblocks()
+	if dump == "" {
+		t.Fatal("empty superblock dump")
+	}
+	t.Logf("\n%s", dump)
+	if _, err := art.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package ir
+
+import "cash/internal/vm"
+
+// SuperblockHints computes the tier-2 superblock candidate regions of a
+// module from its loop tree: for every loop, the layout-contiguous span
+// of member blocks starting at the header, expressed as the instruction
+// offsets Module.EmitTo assigns when emitting into a fresh builder (the
+// only way the pipeline emits). Loop bodies are where simulated time
+// goes, so loop spans are the whole hint set; the vm trace builder
+// trims each span to a straight-line trace and deduplicates by head.
+//
+// Fragments emit in order and Loops lists outer loops before inner
+// ones, so nested loops each get their own region: an outer trace ends
+// at its first branch while the inner loop's header anchors the hot
+// back-to-back trace.
+func (m *Module) SuperblockHints() []vm.Region {
+	start := make(map[*Block]int)
+	off := 0
+	for _, f := range m.Frags {
+		for _, b := range f.Blocks {
+			start[b] = off
+			off += len(b.Instrs)
+		}
+	}
+	var out []vm.Region
+	for _, f := range m.Frags {
+		for _, l := range f.Loops {
+			if l.Header == nil {
+				continue
+			}
+			hi := -1
+			for i, b := range f.Blocks {
+				if b == l.Header {
+					hi = i
+					break
+				}
+			}
+			if hi < 0 {
+				continue
+			}
+			end := start[l.Header]
+			for i := hi; i < len(f.Blocks) && l.Contains(f.Blocks[i]); i++ {
+				end = start[f.Blocks[i]] + len(f.Blocks[i].Instrs)
+			}
+			if end <= start[l.Header] {
+				continue
+			}
+			name := f.Name
+			if len(l.Header.Labels) > 0 {
+				name += "/" + l.Header.Labels[0]
+			}
+			out = append(out, vm.Region{Start: start[l.Header], End: end, Name: name})
+		}
+	}
+	return out
+}

@@ -191,6 +191,79 @@ func (m *Memory) Write16(addr uint32, v uint16) {
 	m.Write8(addr+1, uint8(v>>8))
 }
 
+// Read32Fast, Write32Fast, Read8Fast and Write8Fast are the inlinable
+// arena fast paths for the tier-2 superblock engine: each handles only
+// accesses that land wholly inside a dense arena and reports false
+// otherwise, so the caller falls back to the full accessor. Their
+// behaviour (including the dirty watermarks) is a strict subset of the
+// corresponding Read/Write method.
+
+// DenseWindows exposes the arena slices and their word-access bounds for
+// callers that fuse the arena bounds check into their own compare (the
+// tier-2 run loop). Conventions match the internal fast paths: a 4-byte
+// access at address a is wholly inside the lo arena iff a < lo4, and
+// wholly inside the hi arena iff a-hiBase < hi4. The slices alias the
+// live arenas and stay valid for the life of the Memory.
+func (m *Memory) DenseWindows() (lo, hi []byte, lo4, hiBase, hi4 uint32) {
+	return m.lo, m.hi, m.lo4, m.hiBase, m.hi4
+}
+
+func (m *Memory) Read32Fast(addr uint32) (uint32, bool) {
+	if addr < m.lo4 {
+		return binary.LittleEndian.Uint32(m.lo[addr:]), true
+	}
+	if d := addr - m.hiBase; d < m.hi4 {
+		return binary.LittleEndian.Uint32(m.hi[d:]), true
+	}
+	return 0, false
+}
+
+func (m *Memory) Write32Fast(addr uint32, v uint32) bool {
+	if addr < m.lo4 {
+		binary.LittleEndian.PutUint32(m.lo[addr:], v)
+		if addr+4 > m.loDirty {
+			m.loDirty = addr + 4
+		}
+		return true
+	}
+	if d := addr - m.hiBase; d < m.hi4 {
+		binary.LittleEndian.PutUint32(m.hi[d:], v)
+		if d < m.hiDirty {
+			m.hiDirty = d
+		}
+		return true
+	}
+	return false
+}
+
+func (m *Memory) Read8Fast(addr uint32) (uint8, bool) {
+	if addr < uint32(len(m.lo)) {
+		return m.lo[addr], true
+	}
+	if d := addr - m.hiBase; d < uint32(len(m.hi)) {
+		return m.hi[d], true
+	}
+	return 0, false
+}
+
+func (m *Memory) Write8Fast(addr uint32, v uint8) bool {
+	if addr < uint32(len(m.lo)) {
+		m.lo[addr] = v
+		if addr >= m.loDirty {
+			m.loDirty = addr + 1
+		}
+		return true
+	}
+	if d := addr - m.hiBase; d < uint32(len(m.hi)) {
+		m.hi[d] = v
+		if d < m.hiDirty {
+			m.hiDirty = d
+		}
+		return true
+	}
+	return false
+}
+
 // Read32 returns the little-endian 32-bit value at addr.
 func (m *Memory) Read32(addr uint32) uint32 {
 	if addr < m.lo4 {

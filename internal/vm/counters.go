@@ -22,6 +22,15 @@ var (
 	mFaultTransient    = obs.Default().Counter("vm.faults.transient")
 	mFaultCanceled     = obs.Default().Counter("vm.faults.canceled")
 	mFaultOther        = obs.Default().Counter("vm.faults.other")
+
+	// Tier-2 superblock activity (see superblock.go): compiled is added
+	// once per program at superblock-compile time; the rest are one batch
+	// per tier-2 run. A high deopts/entries ratio is the deopt-storm
+	// signal the metrics goldens make visible.
+	mSBCompiled = obs.Default().Counter("vm.sb.compiled")
+	mSBEntries  = obs.Default().Counter("vm.sb.entries")
+	mSBDeopts   = obs.Default().Counter("vm.sb.deopts")
+	mSBRetired  = obs.Default().Counter("vm.sb.instrs_retired")
 )
 
 func countSim(instructions, cycles uint64) {
@@ -55,6 +64,26 @@ func countFault(k FaultKind) {
 	default:
 		mFaultOther.Inc()
 	}
+}
+
+// countSB publishes one tier-2 run's superblock activity.
+func countSB(entries, deopts, retired uint64) {
+	if entries != 0 {
+		mSBEntries.Add(entries)
+	}
+	if deopts != 0 {
+		mSBDeopts.Add(deopts)
+	}
+	if retired != 0 {
+		mSBRetired.Add(retired)
+	}
+}
+
+// SBCounters returns the process-wide tier-2 totals: superblocks
+// compiled, superblock entries, deopt exits, and instructions retired
+// inside superblocks.
+func SBCounters() (compiled, entries, deopts, retired uint64) {
+	return mSBCompiled.Value(), mSBEntries.Value(), mSBDeopts.Value(), mSBRetired.Value()
 }
 
 // SimCounters returns the process-wide totals of simulated instructions

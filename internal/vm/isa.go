@@ -289,6 +289,11 @@ type Program struct {
 	Mode     string            // producing compiler mode, for listings
 	Stats    map[string]uint64 // static code-gen statistics
 
+	// Regions are the compiler's superblock candidate hints (loop spans,
+	// hottest first) for tier-2 execution. Purely advisory: execution is
+	// identical with or without them.
+	Regions []Region
+
 	// pre caches the predecoded execution form (see predecode.go), built
 	// lazily on first Run and shared by every Machine executing this
 	// program. Programs must not be copied by value once running.
@@ -296,6 +301,10 @@ type Program struct {
 		once sync.Once
 		c    *compiled
 	}
+
+	// sb caches the compiled superblock table (see superblock.go) the
+	// same way, built lazily on the first tier-2 machine.
+	sb sbCache
 }
 
 // Disassemble renders the program as an AT&T-style listing.

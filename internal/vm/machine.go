@@ -107,6 +107,10 @@ type Result struct {
 	Output   []int32
 	Stats    Stats
 	LDTStats ldt.Stats
+	// SB reports superblock activity when the machine ran with WithTier2;
+	// nil under step execution. Host-side observability only — no
+	// simulated quantity depends on it.
+	SB *SBStats
 }
 
 // TraceEntry records one address translation for the Figure-1 pipeline
@@ -132,6 +136,16 @@ func WithPaging(n uint32) Option {
 // WithStepLimit caps the number of executed instructions.
 func WithStepLimit(n uint64) Option {
 	return func(m *Machine) { m.stepLimit = n }
+}
+
+// WithTier2 enables superblock execution (tier 2): the compiler's hot
+// regions are fused into single closures with bulk counter accounting,
+// deopting to the step interpreter at a precise instruction boundary on
+// any fault or side exit (see superblock.go). Simulated output,
+// counters and violation verdicts are identical to step execution;
+// only host speed changes.
+func WithTier2() Option {
+	return func(m *Machine) { m.tier2 = true }
 }
 
 // WithTrace installs a hook receiving every address translation.
@@ -280,6 +294,16 @@ type Machine struct {
 	halted    bool
 	exitCode  int32
 
+	// Tier-2 state (see superblock.go): the shared superblock table and
+	// this machine's entry/deopt/retired tallies.
+	tier2     bool
+	sbt       *sbTable
+	sbEntries uint64
+	sbDeopts  uint64
+	sbRetired uint64
+	sbw       segWindows // cached sbWindows, valid while sbwGen == mmu.Gen()
+	sbwGen    uint64
+
 	// Fault-injection mechanisms (see the With* chaos options). At most
 	// one of the one-shot corruptions fires per run (chaosFired latches).
 	ldtAudit           bool
@@ -317,6 +341,9 @@ func New(prog *Program, mode Mode, opts ...Option) (*Machine, error) {
 		o(m)
 	}
 	m.plain = m.pages == nil && m.trace == nil
+	if m.tier2 {
+		m.sbt = prog.superblocks()
+	}
 	// Recycle pooled parts when their memory geometry matches this
 	// program; otherwise (or with no parts) allocate fresh. Reset before
 	// use makes a recycled machine indistinguishable from a fresh one.
@@ -486,6 +513,7 @@ func (m *Machine) Run() (res *Result, err error) {
 	c := m.prog.compiledProgram()
 	n := len(c.exec)
 	startInstrs, startCycles := m.stats.Instructions, m.cycles
+	startSBEntries, startSBDeopts, startSBRetired := m.sbEntries, m.sbDeopts, m.sbRetired
 	defer func() {
 		// Publish this run's observability delta: process-wide simulated
 		// work, the fault classification, and the per-machine paging and
@@ -493,6 +521,10 @@ func (m *Machine) Run() (res *Result, err error) {
 		// per-instruction path.
 		countSim(m.stats.Instructions-startInstrs, m.cycles-startCycles)
 		mRuns.Inc()
+		if m.tier2 {
+			countSB(m.sbEntries-startSBEntries, m.sbDeopts-startSBDeopts,
+				m.sbRetired-startSBRetired)
+		}
 		if f, ok := err.(*Fault); ok && f != nil {
 			countFault(f.Kind)
 			if m.etrace.Enabled() {
@@ -516,19 +548,13 @@ func (m *Machine) Run() (res *Result, err error) {
 			m.nextStop = s
 		}
 	}
+	if m.sbt != nil {
+		return m.runTier2(c)
+	}
 	for !m.halted {
 		if m.stats.Instructions >= m.nextStop {
-			if m.stats.Instructions >= m.stepLimit {
-				return m.result(), m.fault(FaultStepLimit, nil)
-			}
-			// nextStop < stepLimit implies a context is attached.
-			if err := m.ctx.Err(); err != nil {
-				return m.result(), m.fault(FaultCanceled, err)
-			}
-			if s := m.stats.Instructions + cancelStride; s < m.stepLimit {
-				m.nextStop = s
-			} else {
-				m.nextStop = m.stepLimit
+			if err := m.stopCheck(); err != nil {
+				return m.result(), err
 			}
 		}
 		ip := m.ip
@@ -555,14 +581,87 @@ func (m *Machine) Run() (res *Result, err error) {
 	return m.result(), nil
 }
 
+// stopCheck handles a nextStop pause: a step-limit fault, a
+// cancellation poll, and scheduling the next pause. Called only when
+// Instructions >= nextStop; nextStop < stepLimit implies a context is
+// attached.
+func (m *Machine) stopCheck() error {
+	if m.stats.Instructions >= m.stepLimit {
+		return m.fault(FaultStepLimit, nil)
+	}
+	if err := m.ctx.Err(); err != nil {
+		return m.fault(FaultCanceled, err)
+	}
+	if s := m.stats.Instructions + cancelStride; s < m.stepLimit {
+		m.nextStop = s
+	} else {
+		m.nextStop = m.stepLimit
+	}
+	return nil
+}
+
+// runTier2 is the Run loop with superblock dispatch: when the next
+// instruction heads a compiled superblock and one whole pass fits under
+// nextStop, the fused trace executes it (superblock.run); every other
+// instruction — including deopt tails after a side exit and the final
+// approach to a step-limit or cancellation boundary — takes the
+// per-instruction path unchanged.
+func (m *Machine) runTier2(c *compiled) (*Result, error) {
+	t := m.sbt
+	n := len(c.exec)
+	for !m.halted {
+		if m.stats.Instructions >= m.nextStop {
+			if err := m.stopCheck(); err != nil {
+				return m.result(), err
+			}
+		}
+		ip := m.ip
+		if uint(ip) >= uint(n) {
+			return m.result(), m.fault(FaultInvalid, fmt.Errorf("ip %d outside program", ip))
+		}
+		if sb := t.heads[ip]; sb != nil && m.nextStop-m.stats.Instructions >= uint64(sb.n) {
+			if err := sb.run(m); err != nil {
+				return m.result(), err
+			}
+			continue
+		}
+		m.stats.Instructions++
+		m.cycles += uint64(c.cost[ip])
+		if nt := c.note[ip]; nt != NoteNone {
+			switch nt {
+			case NoteSWCheck:
+				m.stats.SWChecks++
+			case NoteLoopBackedge:
+				m.stats.LoopIters++
+			case NoteSpilledBackedge:
+				m.stats.LoopIters++
+				m.stats.SpilledIters++
+			}
+		}
+		if err := c.exec[ip](m); err != nil {
+			return m.result(), err
+		}
+	}
+	return m.result(), nil
+}
+
 func (m *Machine) result() *Result {
-	return &Result{
+	res := &Result{
 		Cycles:   m.Cycles(),
 		ExitCode: m.exitCode,
 		Output:   m.output,
 		Stats:    m.stats,
 		LDTStats: m.ldtMgr.Stats(),
 	}
+	if m.sbt != nil {
+		res.SB = &SBStats{
+			Compiled:      uint64(len(m.sbt.list)),
+			Entries:       m.sbEntries,
+			Deopts:        m.sbDeopts,
+			InstrsRetired: m.sbRetired,
+		}
+	}
+	return res
 }
 
 // stackRef is the predecoded DS:(%esp) operand used by push and pop.

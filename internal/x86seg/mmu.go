@@ -43,6 +43,38 @@ type segRegister struct {
 	loaded   bool // hidden part holds a valid descriptor
 	flat     bool
 	isLDT    bool
+
+	// quickR and quickW are the precomputed limit-check thresholds for
+	// the tier-2 inline fast path (QuickTranslate): quickR[k] is one past
+	// the largest offset at which a read of 1<<k bytes stays within the
+	// cached descriptor's limit, held as uint64 so a flat 4 GiB segment
+	// does not wrap to zero. quickW likewise for writes (zero for
+	// read-only and code segments). Zero disables the fast path, which
+	// falls back to the full Translate — the zero value of a segRegister
+	// is therefore always safe.
+	quickR [3]uint64
+	quickW [3]uint64
+}
+
+// quickLimits precomputes the fast-path thresholds for a descriptor just
+// loaded into a segment register. The thresholds encode exactly the
+// accesses Translate admits — Check's rejection cases (not present, call
+// gate, write to read-only or code) map to zero thresholds, and the
+// limit comparison offset+size-1 <= limit becomes offset < limit-size+2.
+func quickLimits(d Descriptor) (r, w [3]uint64) {
+	if !d.Present || d.Kind == KindCallGate {
+		return
+	}
+	limit := int64(d.EffectiveLimit())
+	for k := 0; k < 3; k++ {
+		if v := limit - int64(1)<<k + 2; v > 0 {
+			r[k] = uint64(v)
+		}
+	}
+	if d.Kind == KindData && d.Writable {
+		w = r
+	}
+	return
 }
 
 // MMU is the segmentation unit: the GDT, the current LDT, and the six
@@ -52,13 +84,20 @@ type MMU struct {
 	gdt  *DescriptorTable
 	ldt  *DescriptorTable
 	regs [NumSegRegs]segRegister
+	gen  uint64 // bumped on any segment-register or table change
 }
 
 // NewMMU returns an MMU with empty GDT and LDT and all segment registers
 // holding null selectors.
 func NewMMU() *MMU {
-	return &MMU{gdt: NewTable("GDT"), ldt: NewTable("LDT")}
+	return &MMU{gdt: NewTable("GDT"), ldt: NewTable("LDT"), gen: 1}
 }
+
+// Gen is a generation counter that changes whenever a segment register
+// is loaded or a table is switched or reset — i.e. whenever state cached
+// from QuickState may have gone stale. Callers snapshot Gen alongside
+// the cached state and revalidate by comparing.
+func (m *MMU) Gen() uint64 { return m.gen }
 
 // GDT returns the global descriptor table.
 func (m *MMU) GDT() *DescriptorTable { return m.gdt }
@@ -71,6 +110,7 @@ func (m *MMU) Reset() {
 	m.gdt.Reset()
 	m.ldt.Reset()
 	m.regs = [NumSegRegs]segRegister{}
+	m.gen++
 }
 
 // LDT returns the current local descriptor table.
@@ -80,7 +120,7 @@ func (m *MMU) LDT() *DescriptorTable { return m.ldt }
 // would. Segment registers keep their cached descriptors: stale hidden
 // parts are a real hardware hazard the paper calls out, and tests exercise
 // it deliberately.
-func (m *MMU) SetLDT(t *DescriptorTable) { m.ldt = t }
+func (m *MMU) SetLDT(t *DescriptorTable) { m.ldt = t; m.gen++ }
 
 func (m *MMU) table(sel Selector) *DescriptorTable {
 	if sel.Table() == LDT {
@@ -99,6 +139,7 @@ func (m *MMU) Load(r SegReg, sel Selector) error {
 			return &Fault{Code: FaultGP, Selector: sel, Detail: "null selector loaded into " + r.String()}
 		}
 		m.regs[r] = segRegister{selector: sel, isLDT: sel.Table() == LDT}
+		m.gen++
 		return nil
 	}
 	d, err := m.table(sel).Lookup(sel)
@@ -116,7 +157,57 @@ func (m *MMU) Load(r SegReg, sel Selector) error {
 			d.EffectiveLimit() == 0xffffffff,
 		isLDT: sel.Table() == LDT,
 	}
+	m.regs[r].quickR, m.regs[r].quickW = quickLimits(d)
+	m.gen++
 	return nil
+}
+
+// QuickTranslate is the tier-2 inline fast path: the linear address of
+// an access of 1<<k bytes (k in 0..2) at offset through r, and true,
+// when the precomputed limit check passes. False means the caller must
+// run the full Translate — which reproduces every fault the thresholds
+// conservatively declined. Semantically QuickTranslate(…) == (lin, nil)
+// from Translate for every (true, lin) it returns; the thresholds are
+// recomputed on Load, so cached-descriptor staleness behaves identically
+// on both paths.
+func (m *MMU) QuickTranslate(r SegReg, offset uint32, k int, write bool) (uint32, bool) {
+	s := &m.regs[r]
+	lim := s.quickR[k]
+	if write {
+		lim = s.quickW[k]
+	}
+	if uint64(offset) < lim {
+		return s.cache.Base + offset, true
+	}
+	return 0, false
+}
+
+// QuickRef is QuickTranslate fused with IsLDT: one segment-register
+// lookup yields the fast-path linear address, whether the reference is
+// an LDT (hardware bound check) reference, and whether the fast path
+// applied. The ldt result is valid regardless of ok, so the caller can
+// count the hardware check before falling back to the full Translate —
+// the same order memPhys uses.
+func (m *MMU) QuickRef(r SegReg, offset uint32, k int, write bool) (lin uint32, ldt, ok bool) {
+	s := &m.regs[r]
+	lim := s.quickR[k]
+	if write {
+		lim = s.quickW[k]
+	}
+	if uint64(offset) < lim {
+		return s.cache.Base + offset, s.isLDT, true
+	}
+	return 0, s.isLDT, false
+}
+
+// QuickState exposes one segment register's fast-path state for callers
+// that cache it across a run of accesses (the tier-2 run loop): the
+// segment base, the 4-byte read and write thresholds (see quickLimits),
+// and whether references through the register count as hardware bound
+// checks. The thresholds are valid until the next Load of the register.
+func (m *MMU) QuickState(r SegReg) (base uint32, qr, qw uint64, ldt bool) {
+	s := &m.regs[r]
+	return s.cache.Base, s.quickR[2], s.quickW[2], s.isLDT
 }
 
 // Selector returns the visible part of a segment register.
