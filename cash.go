@@ -190,6 +190,22 @@ func (e *Engine) runtime() *serve.Engine {
 	return e.eng
 }
 
+// ErrEngineClosed is returned by every Engine method after Close: the
+// engine rejects new work instead of queuing it forever.
+var ErrEngineClosed = serve.ErrEngineClosed
+
+// Close shuts the Engine down: new work is rejected with
+// ErrEngineClosed, queued requests fail immediately, and Close blocks
+// until in-flight requests have drained. It is idempotent. Closing a
+// nil or zero Engine is a no-op — the shared process-default engine is
+// never closed through a wrapper.
+func (e *Engine) Close() error {
+	if e == nil || e.eng == nil {
+		return nil
+	}
+	return e.eng.Close()
+}
+
 // BuildContext is Build through the Engine: the compiled artifact is
 // cached under a content hash of (source, mode, options), concurrent
 // identical builds are coalesced into one compile, and ctx cancels the

@@ -48,6 +48,23 @@ const (
 	// (vm.WithStepLimit) terminates it.
 	SiteRunawayHandler
 
+	// Network-layer sites, injected at the TCP serving front end
+	// (internal/srv) rather than inside the simulated machine. They are
+	// deliberately NOT part of AllSites — the vm-site schedules of the
+	// resilience goldens must not shift when the wire layer learns new
+	// failure modes.
+
+	// SiteAcceptFail makes one accepted connection fail immediately (the
+	// listener behaves as if accept(2) returned an error).
+	SiteAcceptFail
+	// SiteConnDrop severs a connection after a request frame has been
+	// read but before its response is written — the client sees a
+	// mid-request EOF.
+	SiteConnDrop
+	// SiteSlowRead delays the server's read of one request frame,
+	// modelling a congested or trickling client.
+	SiteSlowRead
+
 	numSites
 )
 
@@ -69,18 +86,33 @@ func (s Site) String() string {
 		return "malformed-request"
 	case SiteRunawayHandler:
 		return "runaway-handler"
+	case SiteAcceptFail:
+		return "accept-fail"
+	case SiteConnDrop:
+		return "conn-drop"
+	case SiteSlowRead:
+		return "slow-read"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}
 }
 
-// AllSites lists every real injection site.
+// AllSites lists every machine-level injection site (the sites the
+// netsim resilience harness draws from). The network sites are listed
+// separately by NetSites so existing fault schedules stay stable.
 func AllSites() []Site {
 	return []Site{
 		SiteTransientLDT, SiteExhaustLDT, SiteCorruptDescriptor,
 		SiteCorruptShadow, SiteUnmapPage, SiteMalformedRequest,
 		SiteRunawayHandler,
 	}
+}
+
+// NetSites lists the wire-layer injection sites the TCP front end
+// (internal/srv) maps onto accept failures, mid-request connection
+// drops and delayed reads.
+func NetSites() []Site {
+	return []Site{SiteAcceptFail, SiteConnDrop, SiteSlowRead}
 }
 
 // UniversalSites lists the sites that apply to any compiler mode. The

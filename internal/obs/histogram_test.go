@@ -179,6 +179,70 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+// TestMergeMatchesCombined pins the aggregation contract the network
+// server relies on (per-connection latency histograms merged into the
+// server-wide view): merging K part histograms is quantile-equivalent
+// to one histogram that observed every sample directly — both while the
+// combined population is exact and after it spills past the sample cap
+// into bucket resolution.
+func TestMergeMatchesCombined(t *testing.T) {
+	check := func(t *testing.T, parts [][]uint64) {
+		t.Helper()
+		combined := NewCycleHistogram()
+		merged := NewCycleHistogram()
+		for _, vals := range parts {
+			part := NewCycleHistogram()
+			for _, v := range vals {
+				part.Observe(v)
+				combined.Observe(v)
+			}
+			if err := merged.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Count() != combined.Count() || merged.Sum() != combined.Sum() {
+			t.Fatalf("count/sum diverge: merged %d/%d vs combined %d/%d",
+				merged.Count(), merged.Sum(), combined.Count(), combined.Sum())
+		}
+		if merged.Min() != combined.Min() || merged.Max() != combined.Max() {
+			t.Fatalf("min/max diverge: merged %d/%d vs combined %d/%d",
+				merged.Min(), merged.Max(), combined.Min(), combined.Max())
+		}
+		for q := 0; q <= 100; q++ {
+			if m, c := merged.Quantile(q), combined.Quantile(q); m != c {
+				t.Fatalf("Quantile(%d): merged %d vs combined %d", q, m, c)
+			}
+		}
+	}
+
+	t.Run("exact", func(t *testing.T) {
+		r := rand.New(rand.NewSource(11))
+		parts := make([][]uint64, 16) // per-connection populations of uneven size
+		for i := range parts {
+			vals := make([]uint64, 1+r.Intn(400))
+			for j := range vals {
+				vals[j] = uint64(r.Intn(2_000_000))
+			}
+			parts[i] = vals
+		}
+		check(t, parts)
+	})
+
+	t.Run("past_exact_cap", func(t *testing.T) {
+		r := rand.New(rand.NewSource(13))
+		per := DefaultExactSamples/4 + 17
+		parts := make([][]uint64, 8) // combined population overflows the cap
+		for i := range parts {
+			vals := make([]uint64, per)
+			for j := range vals {
+				vals[j] = uint64(r.Intn(5_000_000))
+			}
+			parts[i] = vals
+		}
+		check(t, parts)
+	})
+}
+
 // TestMergeCommutative checks the determinism contract: merging the same
 // set of histograms in different orders yields identical snapshots in
 // every delta-able quantity and identical quantiles.

@@ -10,25 +10,34 @@ import (
 // queue. Released slots are handed directly to the head waiter (no
 // thundering herd, no barging past the queue); a waiter whose context
 // is canceled removes itself, or — when the grant raced the cancel —
-// passes the slot straight on.
+// passes the slot straight on. Close marks the engine closed: queued
+// waiters fail with ErrEngineClosed, new acquires are rejected, and
+// the closer blocks until every admitted request has released its slot.
 type admission struct {
 	mu       sync.Mutex
 	inflight int
 	waiters  list.List // of *waiter
+	closed   bool
+	drained  *sync.Cond // lazily bound to mu; broadcast when inflight hits 0
 }
 
 type waiter struct {
 	ch      chan struct{}
-	granted bool // written under admission.mu before ch closes
+	granted bool  // written under admission.mu before ch closes
+	err     error // ErrEngineClosed when the engine closed under the waiter
 }
 
 // acquire takes a request slot, blocking in FIFO order when limit
 // slots are in flight. It returns ctx.Err() if the context is canceled
-// first.
+// first, or ErrEngineClosed if the engine is (or becomes) closed.
 func (e *Engine) acquire(ctx context.Context) error {
 	limit := e.limit()
 	a := &e.adm
 	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrEngineClosed
+	}
 	if a.inflight < limit && a.waiters.Len() == 0 {
 		a.inflight++
 		a.mu.Unlock()
@@ -40,12 +49,14 @@ func (e *Engine) acquire(ctx context.Context) error {
 	mAdmWaits.Inc()
 	select {
 	case <-w.ch:
-		// The releaser handed its slot over; inflight already counts it.
-		return nil
+		// Either the releaser handed its slot over (inflight already
+		// counts it) or Close failed the wait.
+		return w.err
 	case <-ctx.Done():
 		a.mu.Lock()
 		granted := w.granted
 		if !granted {
+			// Remove is a no-op if Close already unlinked the waiter.
 			a.waiters.Remove(el)
 		}
 		a.mu.Unlock()
@@ -59,7 +70,8 @@ func (e *Engine) acquire(ctx context.Context) error {
 }
 
 // release frees a request slot: handed to the head waiter if one is
-// queued, otherwise returned to the free count.
+// queued, otherwise returned to the free count (waking a pending Close
+// when the engine is draining and this was the last slot).
 func (e *Engine) release() {
 	a := &e.adm
 	a.mu.Lock()
@@ -71,5 +83,32 @@ func (e *Engine) release() {
 		return
 	}
 	a.inflight--
+	if a.closed && a.inflight == 0 && a.drained != nil {
+		a.drained.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// closeAndDrain transitions the admission gate to closed: queued
+// waiters fail immediately with ErrEngineClosed, later acquires are
+// rejected, and the call blocks until every in-flight slot is released.
+// Safe to call repeatedly and from multiple goroutines; every call
+// returns only once the engine is fully drained.
+func (a *admission) closeAndDrain() {
+	a.mu.Lock()
+	if !a.closed {
+		a.closed = true
+		for el := a.waiters.Front(); el != nil; el = a.waiters.Front() {
+			w := a.waiters.Remove(el).(*waiter)
+			w.err = ErrEngineClosed
+			close(w.ch)
+		}
+	}
+	if a.drained == nil {
+		a.drained = sync.NewCond(&a.mu)
+	}
+	for a.inflight > 0 {
+		a.drained.Wait()
+	}
 	a.mu.Unlock()
 }

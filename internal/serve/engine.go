@@ -48,6 +48,12 @@ var (
 	mAdmCanceled = obs.Default().Counter("serve.admission.canceled")
 )
 
+// ErrEngineClosed is returned by every Engine method once Close has
+// been called: the engine has a lifecycle end a server can hook
+// shutdown into, and work submitted after that end is rejected with
+// this typed error rather than queued forever.
+var ErrEngineClosed = errors.New("serve: engine closed")
+
 // DefaultCacheBytes is the artifact/run cache budget when
 // EngineConfig.CacheBytes is zero.
 const DefaultCacheBytes = 64 << 20
@@ -108,6 +114,26 @@ func NewEngine(cfg EngineConfig) *Engine {
 		e.pool = newPool(size)
 	}
 	return e
+}
+
+// Close shuts the Engine down: new work — builds, runs, comparisons —
+// is rejected with ErrEngineClosed, queued admission waiters fail with
+// the same error immediately, and Close blocks until every admitted
+// request has finished and released its slot (the drain). Close is
+// idempotent and safe to call concurrently; every call returns only
+// once the engine is drained. The caches and pool are left intact so
+// in-flight requests finish normally; they are simply unreachable once
+// the last reference to the Engine drops.
+func (e *Engine) Close() error {
+	e.adm.closeAndDrain()
+	return nil
+}
+
+// closed reports whether Close has begun.
+func (e *Engine) closed() bool {
+	e.adm.mu.Lock()
+	defer e.adm.mu.Unlock()
+	return e.adm.closed
 }
 
 var defaultEngine = NewEngine(EngineConfig{})
@@ -183,6 +209,9 @@ func (e *Engine) EventTrace() *obs.Trace {
 func (e *Engine) BuildContext(ctx context.Context, source string, mode core.Mode, opts core.Options) (*core.Artifact, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.closed() {
+		return nil, ErrEngineClosed
 	}
 	if e.cache == nil {
 		return core.Build(source, mode, opts)

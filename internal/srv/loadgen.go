@@ -1,0 +1,324 @@
+package srv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cash/internal/obs"
+)
+
+// The load mix: four small deterministic mini-C programs. Each has a
+// fixed simulated cost, so the latency distribution of a seeded run is
+// a pure function of the request mix — the committed cashload golden
+// depends on nothing host-side.
+var loadPrograms = []struct {
+	name   string
+	source string
+}{
+	{"sum64", `
+int a[64];
+void main() {
+	for (int i = 0; i < 64; i++) a[i] = i * 3;
+	int s = 0;
+	for (int i = 0; i < 64; i++) s += a[i];
+	printi(s);
+}`},
+	{"stride128", `
+int a[128];
+void main() {
+	for (int i = 0; i < 128; i++) a[i] = i;
+	int s = 0;
+	for (int st = 1; st <= 4; st++) {
+		for (int i = 0; i < 128; i += st) s += a[i];
+	}
+	printi(s);
+}`},
+	{"heap-churn", `
+int churn(int n) {
+	int *buf = malloc(n * 4);
+	for (int i = 0; i < n; i++) buf[i] = i * 7;
+	int s = 0;
+	for (int i = 0; i < n; i++) s += buf[i];
+	free(buf);
+	return s;
+}
+void main() {
+	int t = 0;
+	for (int r = 0; r < 12; r++) t += churn(16 + r);
+	printi(t);
+}`},
+	{"window96", `
+int a[96];
+int b[96];
+void main() {
+	for (int i = 0; i < 96; i++) a[i] = (i * 13) % 97;
+	for (int i = 2; i < 94; i++) {
+		b[i] = a[i-2] + a[i-1] + a[i] + a[i+1] + a[i+2];
+	}
+	int s = 0;
+	for (int i = 0; i < 96; i++) s += b[i];
+	printi(s);
+}`},
+}
+
+// The golden run's parameters: cmd/cashload -pipe defaults and the
+// in-package golden test both use these, so the CI soak lane and the
+// test suite pin the same committed bytes
+// (internal/srv/testdata/golden_cashload_s1.txt).
+const (
+	GoldenClients   = 1000
+	GoldenPerClient = 2
+	GoldenRate      = 50000
+	GoldenSeed      = 1
+)
+
+// LoadConfig parameterises one open-loop load run.
+type LoadConfig struct {
+	// Dial opens one connection to the server under test (e.g.
+	// PipeListener.Dial, or a net.Dial closure).
+	Dial func() (net.Conn, error)
+	// Clients is the number of concurrent client connections.
+	Clients int
+	// PerClient is how many requests each client issues.
+	PerClient int
+	// Rate is the aggregate arrival rate in requests per second. The
+	// schedule is open-loop: request k of the global sequence is issued
+	// at start + k/Rate whether or not earlier requests have completed.
+	// <= 0 issues everything immediately.
+	Rate float64
+	// Seed keys the request mix (which program each request runs).
+	Seed uint64
+	// Mode is the wire compiler mode for every request ("" = cash).
+	Mode string
+	// Options rides on every request.
+	Options WireOptions
+	// Timeout is the per-request deadline; 0 means none.
+	Timeout time.Duration
+	// Retries is how many times a request is retried after a transport
+	// failure or typed shed, each attempt on a fresh connection (for
+	// chaos runs). 0 means no retries.
+	Retries int
+}
+
+// LoadReport aggregates one load run. All quantities are deterministic
+// for a seeded run against a deterministic server: counts are pure
+// functions of the schedule and the latency histogram holds simulated
+// cycles, so Format is byte-stable across runs at any host speed.
+type LoadReport struct {
+	Clients   int
+	PerClient int
+	Seed      uint64
+	Mode      string
+
+	OK        int64 // successful responses (including detected violations)
+	Shed      int64 // typed over-capacity responses
+	Quota     int64 // typed quota responses
+	Deadline  int64 // typed deadline responses or client-side deadline
+	Shutdown  int64 // typed shutting-down/canceled responses
+	Transport int64 // connection-level failures after retries
+	Failed    int64 // other server errors
+
+	Latency obs.HistogramSnapshot // simulated cycles of OK responses
+}
+
+// Total is the number of requests issued.
+func (r *LoadReport) Total() int64 {
+	return r.OK + r.Shed + r.Quota + r.Deadline + r.Shutdown + r.Transport + r.Failed
+}
+
+// Availability is the fraction of requests answered successfully, in
+// percent.
+func (r *LoadReport) Availability() float64 {
+	total := r.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.OK) / float64(total) * 100
+}
+
+// Format renders the report as deterministic text: only simulated
+// quantities and schedule-determined counts, never host time.
+func (r *LoadReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cashload seed=%d clients=%d per-client=%d mode=%s\n",
+		r.Seed, r.Clients, r.PerClient, r.Mode)
+	fmt.Fprintf(&b, "requests %d: ok %d, shed %d, quota %d, deadline %d, shutdown %d, transport %d, failed %d\n",
+		r.Total(), r.OK, r.Shed, r.Quota, r.Deadline, r.Shutdown, r.Transport, r.Failed)
+	fmt.Fprintf(&b, "availability %.2f%%\n", r.Availability())
+	h := r.Latency
+	var mean uint64
+	if h.Count > 0 {
+		mean = h.Sum / h.Count
+	}
+	fmt.Fprintf(&b, "sim latency cycles: p50 %d, p90 %d, p95 %d, p99 %d, min %d, max %d, mean %d\n",
+		h.Quantile(50), h.Quantile(90), h.Quantile(95), h.Quantile(99), h.Min, h.Max, mean)
+	return b.String()
+}
+
+// loadMix picks the program for global request k — splitmix-style, so
+// the mix is a pure function of (seed, k).
+func loadMix(seed, k uint64) int {
+	z := seed + 0x9e3779b97f4a7c15*(k+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(len(loadPrograms)))
+}
+
+// RunLoad drives an open-loop load run and aggregates the results.
+// Each client owns one connection; its requests are issued by
+// independent goroutines at their scheduled arrival times (pipelined on
+// the shared connection), so a stalled response never delays a later
+// arrival — the defining property of an open-loop generator.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("srv: LoadConfig.Dial is required")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.PerClient <= 0 {
+		cfg.PerClient = 1
+	}
+	mode := cfg.Mode
+	if mode == "" {
+		mode = "cash"
+	}
+	rep := &LoadReport{Clients: cfg.Clients, PerClient: cfg.PerClient, Seed: cfg.Seed, Mode: mode}
+	hist := obs.NewCycleHistogram()
+	var ok, shed, quota, deadline, shutdown, transport, failed atomic.Int64
+
+	start := time.Now()
+	arrival := func(k int) time.Time {
+		if cfg.Rate <= 0 {
+			return start
+		}
+		return start.Add(time.Duration(float64(k) / cfg.Rate * float64(time.Second)))
+	}
+
+	dialRetry := func() (*Client, error) {
+		var lastErr error
+		for a := 0; a <= cfg.Retries; a++ {
+			nc, err := cfg.Dial()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return NewClient(nc), nil
+		}
+		return nil, lastErr
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shared, dialErr := dialRetry()
+			if shared != nil {
+				defer shared.Close()
+			}
+			var reqWG sync.WaitGroup
+			for j := 0; j < cfg.PerClient; j++ {
+				reqWG.Add(1)
+				go func(j int) {
+					defer reqWG.Done()
+					k := j*cfg.Clients + i // interleave clients in the arrival order
+					if d := time.Until(arrival(k)); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							transport.Add(1)
+							return
+						}
+					}
+					if shared == nil {
+						// The connection never came up (e.g. accept chaos
+						// beyond the retry budget).
+						_ = dialErr
+						transport.Add(1)
+						return
+					}
+					req := RunRequest{
+						Source:  loadPrograms[loadMix(cfg.Seed, uint64(k))].source,
+						Mode:    mode,
+						Options: cfg.Options,
+					}
+					c := shared
+					for attempt := 0; ; attempt++ {
+						rctx := ctx
+						var cancel context.CancelFunc
+						if cfg.Timeout > 0 {
+							rctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+						}
+						res, err := c.Run(rctx, req)
+						if cancel != nil {
+							cancel()
+						}
+						if err == nil {
+							ok.Add(1)
+							hist.Observe(res.Cycles)
+							return
+						}
+						var se *ServerError
+						isServer := errors.As(err, &se)
+						if attempt < cfg.Retries {
+							if IsShed(err) {
+								// Honor the server's retry-after hint.
+								select {
+								case <-time.After(se.RetryAfter):
+								case <-ctx.Done():
+								}
+								continue
+							}
+							if !isServer {
+								// Transport failure: this connection is
+								// dead — retry on a fresh one.
+								if fresh, derr := dialRetry(); derr == nil {
+									c = fresh
+									defer fresh.Close()
+									continue
+								}
+							}
+						}
+						switch {
+						case isServer && se.Code == CodeOverCapacity:
+							shed.Add(1)
+						case isServer && se.Code == CodeQuota:
+							quota.Add(1)
+						case isServer && se.Code == CodeDeadline:
+							deadline.Add(1)
+						case isServer && (se.Code == CodeShutdown || se.Code == CodeCanceled):
+							shutdown.Add(1)
+						case isServer:
+							failed.Add(1)
+						case errors.Is(err, context.DeadlineExceeded):
+							deadline.Add(1)
+						default:
+							transport.Add(1)
+						}
+						return
+					}
+				}(j)
+			}
+			reqWG.Wait()
+		}(i)
+	}
+	wg.Wait()
+
+	rep.OK = ok.Load()
+	rep.Shed = shed.Load()
+	rep.Quota = quota.Load()
+	rep.Deadline = deadline.Load()
+	rep.Shutdown = shutdown.Load()
+	rep.Transport = transport.Load()
+	rep.Failed = failed.Load()
+	rep.Latency = hist.Snapshot()
+	return rep, nil
+}

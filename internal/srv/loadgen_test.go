@@ -1,0 +1,78 @@
+package srv
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cash/internal/obs"
+)
+
+func TestLoadMixDeterministic(t *testing.T) {
+	seen := make(map[int]bool)
+	for k := uint64(0); k < 64; k++ {
+		p := loadMix(GoldenSeed, k)
+		if p != loadMix(GoldenSeed, k) {
+			t.Fatalf("loadMix(%d, %d) is not a pure function", GoldenSeed, k)
+		}
+		if p < 0 || p >= len(loadPrograms) {
+			t.Fatalf("loadMix(%d, %d) = %d out of range", GoldenSeed, k, p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != len(loadPrograms) {
+		t.Fatalf("mix of 64 requests covered %d of %d programs", len(seen), len(loadPrograms))
+	}
+}
+
+func TestLoadReportFormat(t *testing.T) {
+	h := obs.NewCycleHistogram()
+	h.Observe(100)
+	h.Observe(300)
+	r := &LoadReport{
+		Clients: 2, PerClient: 1, Seed: 9, Mode: "cash",
+		OK: 2, Latency: h.Snapshot(),
+	}
+	want := "cashload seed=9 clients=2 per-client=1 mode=cash\n" +
+		"requests 2: ok 2, shed 0, quota 0, deadline 0, shutdown 0, transport 0, failed 0\n" +
+		"availability 100.00%\n" +
+		"sim latency cycles: p50 100, p90 300, p95 300, p99 300, min 100, max 300, mean 200\n"
+	if got := r.Format(); got != want {
+		t.Fatalf("report format drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestRunLoadGolden is the committed-golden half of the acceptance bar:
+// the seeded 1000-client run's report must match
+// testdata/golden_cashload_s1.txt byte for byte. The CI soak lane pins
+// the same file through the cashload binary.
+func TestRunLoadGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden load run skipped in -short mode")
+	}
+	checkGoroutines(t)
+	_, l := startServer(t, Config{Engine: testEngine(), Workers: 16, QueueDepth: 4096})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	rep, err := RunLoad(ctx, LoadConfig{
+		Dial:      l.Dial,
+		Clients:   GoldenClients,
+		PerClient: GoldenPerClient,
+		Rate:      GoldenRate,
+		Seed:      GoldenSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Format()
+	path := filepath.Join("testdata", "golden_cashload_s1.txt")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing committed golden %s: %v\ngot:\n%s", path, err, got)
+	}
+	if got != string(want) {
+		t.Fatalf("cashload report drifted from %s:\n--- got\n%s--- want\n%s", path, got, want)
+	}
+}

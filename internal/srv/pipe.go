@@ -1,0 +1,61 @@
+package srv
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// PipeListener is an in-memory net.Listener over net.Pipe pairs: Dial
+// creates a synchronous full-duplex connection whose server half is
+// handed to Accept. It keeps the whole client/server stack hermetic —
+// no ports, no kernel buffers, no flakes — which is what makes the
+// seeded load-generator goldens byte-stable.
+type PipeListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+// NewPipeListener returns an open PipeListener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Dial creates a new connection to the listener, blocking until the
+// accept loop takes the server half (or the listener closes).
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("srv: pipe listener closed")
+	}
+}
+
+// Accept waits for the next dialed connection.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops the listener; blocked Dial and Accept calls fail.
+func (l *PipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }

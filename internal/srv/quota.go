@@ -1,0 +1,51 @@
+package srv
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a per-client token bucket: capacity burst, refilled at rate
+// tokens per second. A nil bucket admits everything (quotas disabled).
+// Time is injected by the caller so tests (and deterministic harnesses)
+// can drive it with a manual clock.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int) *bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take consumes one token if available. When the bucket is empty it
+// reports how long until the next token accrues — the retry-after hint.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	missing := 1 - b.tokens
+	return false, time.Duration(missing / b.rate * float64(time.Second))
+}
