@@ -124,7 +124,7 @@ func run() (err error) {
 		repeat      = flag.Int("repeat", 1, "with -all, serve the suite this many times through one Engine (later passes must match pass 1)")
 		noCache     = flag.Bool("no-cache", false, "disable the Engine's artifact/run cache")
 		noPool      = flag.Bool("no-pool", false, "disable the Engine's machine pool")
-		passesFlag  = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist) applied to every experiment")
+		passesFlag  = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist,affine) applied to every experiment")
 		tier2       = flag.Bool("tier2", false, "execute every experiment through the tier-2 superblock engine (tables stay byte-identical)")
 	)
 	flag.Parse()

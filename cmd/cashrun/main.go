@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cashrun [-mode gcc|bcc|cash] [-segregs N] [-passes rce,hoist] [-compare] [-trace] file.c
+//	cashrun [-mode gcc|bcc|cash] [-segregs N] [-passes rce,hoist,affine] [-compare] [-trace] file.c
 //	cashrun -workload toast -compare
 //
 // -passes enables IR optimization passes (-stats prints the static
@@ -62,7 +62,7 @@ func run() (err error) {
 		wlName   = flag.String("workload", "", "run a built-in workload instead of a file")
 		events   = flag.Bool("events", false, "record a machine-event trace and print it to stderr")
 		eventsJS = flag.String("events-json", "", "record a machine-event trace and write it to this file as JSON")
-		passes   = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist); empty disables")
+		passes   = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist,affine); empty disables")
 		dumpIR   = flag.Bool("dump-ir", false, "print the optimized IR to stderr before running")
 		stats    = flag.Bool("stats", false, "print static codegen counters after the run")
 		tier2    = flag.Bool("tier2", false, "execute hot regions through the tier-2 superblock engine")

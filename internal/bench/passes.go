@@ -123,6 +123,7 @@ type passMeasurement struct {
 	staticSW uint64
 	dynSW    uint64
 	cycles   uint64
+	affine   uint64 // checks the affine pass replaced (0 unless it ran)
 }
 
 func measurePasses(ctx context.Context, eng *serve.Engine, w workload.Workload, passes []string) (passMeasurement, error) {
@@ -144,5 +145,6 @@ func measurePasses(ctx context.Context, eng *serve.Engine, w workload.Workload, 
 	m.staticSW = art.StaticStats()["sw_checks_static"]
 	m.dynSW = res.Stats.SWChecks
 	m.cycles = res.Cycles
+	m.affine = art.StaticStats()["sw_checks_affine"]
 	return m, nil
 }

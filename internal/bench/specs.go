@@ -106,6 +106,12 @@ func Specs() []Spec {
 			Generate: func(ctx context.Context, eng *serve.Engine, _ int) (*Table, error) {
 				return ablationPasses(ctx, eng)
 			}},
+		// Same reasoning: the affine ablation rides outside -all with its
+		// own golden, so the historical suite goldens stay byte-identical.
+		{ID: "ablation-affine", Caption: "affine range analysis on computed indices: kernels + range kernels", InAll: false,
+			Generate: func(ctx context.Context, eng *serve.Engine, _ int) (*Table, error) {
+				return ablationAffine(ctx, eng)
+			}},
 		// The resilience generator deliberately ignores the caller's
 		// Engine: it measures on a fresh private one so its published
 		// metrics delta is a pure function of (requests, seed, rate) —

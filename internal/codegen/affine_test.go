@@ -1,0 +1,269 @@
+package codegen
+
+import (
+	"testing"
+
+	"cash/internal/minic"
+	"cash/internal/vm"
+	"cash/internal/workload"
+)
+
+// --- The affine pass on computed indices ---------------------------------
+
+// TestAffineMatMul pins the headline: matmul's flattened 2-D accesses
+// (i*n+j and friends) are beyond rce and hoist, and the affine pass
+// replaces all five of them with preheader endpoint pairs.
+func TestAffineMatMul(t *testing.T) {
+	w := workload.MatMul(12)
+	base := Config{Mode: vm.ModeBCC, Passes: []string{"rce", "hoist"}}
+	full := Config{Mode: vm.ModeBCC, Passes: []string{"rce", "hoist", "affine"}}
+	off := compile(t, w.Source, base)
+	on := compile(t, w.Source, full)
+	if on.Stats[StatChecksAffine] == 0 {
+		t.Fatal("affine pass removed nothing on matmul")
+	}
+	resOff := mustRunMode(t, w.Source, base)
+	resOn := mustRunMode(t, w.Source, full)
+	if len(resOff.Output) == 0 || resOff.Output[0] != resOn.Output[0] {
+		t.Fatalf("output changed: %v vs %v", resOff.Output, resOn.Output)
+	}
+	if resOn.Stats.SWChecks >= resOff.Stats.SWChecks {
+		t.Fatalf("dynamic sw checks not reduced: %d -> %d",
+			resOff.Stats.SWChecks, resOn.Stats.SWChecks)
+	}
+	if resOn.Cycles >= resOff.Cycles {
+		t.Fatalf("cycles not reduced: %d -> %d", resOff.Cycles, resOn.Cycles)
+	}
+	// Stat key is additive: present only when the pass ran.
+	if _, ok := off.Stats[StatChecksAffine]; ok {
+		t.Error("sw_checks_affine present without the affine pass")
+	}
+}
+
+// TestAffineRangeKernels covers the shapes the pass was built for:
+// triangular nests (chain shrinking), runtime strides (guard
+// justification through the inner bound), constant strides — and the
+// gather control it must not touch.
+func TestAffineRangeKernels(t *testing.T) {
+	base := Config{Mode: vm.ModeBCC, Passes: []string{"rce", "hoist"}}
+	full := Config{Mode: vm.ModeBCC, Passes: []string{"rce", "hoist", "affine"}}
+	for _, w := range workload.RangeKernels() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			on := compile(t, w.Source, full)
+			resOff := mustRunMode(t, w.Source, base)
+			resOn := mustRunMode(t, w.Source, full)
+			if len(resOff.Output) == 0 || resOff.Output[0] != resOn.Output[0] {
+				t.Fatalf("output changed: %v vs %v", resOff.Output, resOn.Output)
+			}
+			if w.Name == workload.Gather(256).Name {
+				// The control: a[idx[i]] is not affine, and the idx[i]
+				// reads belong to hoist. The pass must find nothing.
+				if got := on.Stats[StatChecksAffine]; got != 0 {
+					t.Fatalf("affine removed %d checks on the gather control", got)
+				}
+				off := compile(t, w.Source, base)
+				if len(off.Instrs) != len(on.Instrs) {
+					t.Fatalf("gather instruction stream changed: %d -> %d instrs",
+						len(off.Instrs), len(on.Instrs))
+				}
+				for i := range off.Instrs {
+					if off.Instrs[i] != on.Instrs[i] {
+						t.Fatalf("gather instr %d differs: %v vs %v",
+							i, off.Instrs[i], on.Instrs[i])
+					}
+				}
+				return
+			}
+			if on.Stats[StatChecksAffine] == 0 {
+				t.Fatal("affine pass removed nothing")
+			}
+			if resOn.Stats.SWChecks >= resOff.Stats.SWChecks {
+				t.Fatalf("dynamic sw checks not reduced: %d -> %d",
+					resOff.Stats.SWChecks, resOn.Stats.SWChecks)
+			}
+			if resOn.Cycles >= resOff.Cycles {
+				t.Fatalf("cycles not reduced: %d -> %d", resOff.Cycles, resOn.Cycles)
+			}
+		})
+	}
+}
+
+// affineViolationSrcs walk a computed index off the end of the array;
+// the transformed program must still report a violation (it may trap
+// earlier, at the preheader).
+var affineViolationSrcs = map[string]string{
+	// Constant-bound nest: rows*cols exceeds the array by one row.
+	"const-nest": `
+int a[16];
+int main() {
+	int s = 0;
+	for (int i = 0; i < 5; i++) {
+		for (int j = 0; j < 4; j++) {
+			s += a[i*4+j];
+		}
+	}
+	printi(s);
+	return 0;
+}
+`,
+	// Runtime-bound nest: the guard limit admits n=5, the max endpoint
+	// (5-1)*4+3 = 19 is out of [0,16).
+	"runtime-nest": `
+int a[16];
+int main() {
+	int n = 5;
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < 4; j++) {
+			s += a[i*4+j];
+		}
+	}
+	printi(s);
+	return 0;
+}
+`,
+	// Oversized runtime stride: the violating reference is mid-row, not
+	// at a corner of a well-formed box.
+	"stride-overrun": `
+int a[24];
+int main() {
+	int n = 4;
+	int w = 7;
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < w; j++) {
+			s += a[i*w+j];
+		}
+	}
+	printi(s);
+	return 0;
+}
+`,
+}
+
+func TestAffinePreservesViolation(t *testing.T) {
+	for name, src := range affineViolationSrcs {
+		t.Run(name, func(t *testing.T) {
+			for _, passes := range [][]string{nil, {"affine"}, {"rce", "hoist", "affine"}} {
+				_, err := runMode(t, src, Config{Mode: vm.ModeBCC, Passes: passes})
+				f, ok := err.(*vm.Fault)
+				if !ok || !f.IsBoundViolation() {
+					t.Fatalf("passes=%v: want bound violation, got %v", passes, err)
+				}
+			}
+		})
+	}
+}
+
+// TestAffineSkipsEmptyRuntimeLoop: when a runtime bound admits zero
+// iterations the skip guard must bypass the endpoint checks — a trap on
+// an endpoint the program never touches would be a false positive.
+func TestAffineSkipsEmptyRuntimeLoop(t *testing.T) {
+	src := `
+int a[4];
+int main() {
+	int n = 0;
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < 100; j++) {
+			s += a[i*100+j];
+		}
+	}
+	printi(s);
+	return 0;
+}
+`
+	res := mustRunMode(t, src, Config{Mode: vm.ModeBCC, Passes: []string{"affine"}})
+	if res.Output[0] != 0 {
+		t.Fatalf("output = %v, want [0]", res.Output)
+	}
+}
+
+// --- Satellite: hoist endpoint arithmetic --------------------------------
+
+// TestHoistLargeLowerBound pins the endpoint-overflow fix: a loop whose
+// lower bound sits at the matcher's cap still hoists with the correct
+// verdict (a wrap in the scaled low endpoint would have checked a bogus
+// in-range address and lost the violation).
+func TestHoistLargeLowerBound(t *testing.T) {
+	src := `
+int a[16];
+int main() {
+	int i;
+	int s = 0;
+	for (i = 1048570; i < 1048576; i++) {
+		s += a[i];
+	}
+	printi(s);
+	return 0;
+}
+`
+	for _, passes := range [][]string{nil, {"hoist"}} {
+		_, err := runMode(t, src, Config{Mode: vm.ModeBCC, Passes: passes})
+		f, ok := err.(*vm.Fault)
+		if !ok || !f.IsBoundViolation() {
+			t.Fatalf("passes=%v: want bound violation, got %v", passes, err)
+		}
+	}
+}
+
+// TestHoistEndpointsOK exercises the int64 endpoint validation directly:
+// offsets representable in 32-bit address arithmetic pass, anything that
+// would wrap is rejected (the caller then keeps per-iteration checks).
+func TestHoistEndpointsOK(t *testing.T) {
+	intArr := &minic.VarDecl{
+		Name: "g", Storage: minic.StorageGlobal, Addr: 4096,
+		Type: minic.ArrayOf(minic.Int, 16),
+	}
+	c := &compiler{}
+	cases := []struct {
+		name string
+		cl   countedLoop
+		want bool
+	}{
+		{"plain", countedLoop{lo: 0, hiConst: 16}, true},
+		{"capped lo", countedLoop{lo: 1 << 20, hiConst: 1<<20 + 8}, true},
+		{"negative lo", countedLoop{lo: -(1 << 20), hiConst: 0}, true},
+		{"huge const hi", countedLoop{lo: 0, hiConst: 1 << 30}, false},
+		{"runtime hi", countedLoop{lo: 0, hiVar: &minic.VarDecl{Name: "n"}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := c.hoistEndpointsOK(intArr, tc.cl); got != tc.want {
+				t.Fatalf("hoistEndpointsOK = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHoistNarrowingAudit pins the element-size assumption the emission
+// paths narrow under: mini-C array elements are 1 (char) or 4 (int)
+// bytes, so scaled offsets of |lo| <= 2^20 indices stay far inside
+// int32. A wider element type would invalidate the audit comments in
+// hoist.go and must fail here first.
+func TestHoistNarrowingAudit(t *testing.T) {
+	prog := mustParse(t, `
+int a[4];
+char b[8];
+int main() { return 0; }
+`)
+	sizes := map[string]int{}
+	for _, d := range prog.Globals {
+		if d.Type.Kind == minic.TypeArray {
+			sizes[d.Name] = d.Type.Elem.Size()
+		}
+	}
+	if sizes["a"] != 4 || sizes["b"] != 1 {
+		t.Fatalf("element sizes = %v, want a:4 b:1", sizes)
+	}
+	for _, d := range prog.Globals {
+		if d.Type.Kind != minic.TypeArray {
+			continue
+		}
+		elem := d.Type.Elem.Size()
+		if elem != 1 && elem != 4 {
+			t.Fatalf("%s: element size %d outside the audited {1,4} set", d.Name, elem)
+		}
+	}
+}

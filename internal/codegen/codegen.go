@@ -52,10 +52,11 @@ type Config struct {
 	// this ablation measures.
 	UseBoundInstr bool
 	// Passes names the optimization passes to run on the IR, from
-	// PassNames(): "rce" (dominance-based redundant-check elimination)
-	// and "hoist" (loop-invariant check hoisting). Empty means the
-	// emitted program is byte-identical to the historical direct
-	// back end.
+	// PassNames(): "rce" (dominance-based redundant-check elimination),
+	// "hoist" (loop-invariant check hoisting) and "affine" (symbolic
+	// range analysis consolidating affine computed-index checks into
+	// convex-hull endpoint checks). Empty means the emitted program is
+	// byte-identical to the historical direct back end.
 	Passes []string
 }
 
@@ -82,13 +83,14 @@ const (
 	// Pass counters, present only when the corresponding pass ran.
 	StatChecksElim    = "sw_checks_eliminated" // removed as dominated-redundant (rce)
 	StatChecksHoisted = "sw_checks_hoisted"    // replaced by preheader range checks (hoist)
+	StatChecksAffine  = "sw_checks_affine"     // replaced by affine endpoint checks (affine)
 )
 
 // StatKeys lists every static codegen statistic key in reporting order.
 func StatKeys() []string {
 	return []string{
 		StatHWChecks, StatSWChecks, StatChecksElim, StatChecksHoisted,
-		StatSegments, StatLocalArrays,
+		StatChecksAffine, StatSegments, StatLocalArrays,
 	}
 }
 
@@ -131,6 +133,7 @@ type compiler struct {
 	declID     map[*minic.VarDecl]int
 	addrTaken  map[*minic.VarDecl]bool
 	wantHoist  bool
+	wantAffine bool
 	hoistCands []*hoistCand
 	fns        []*fnState
 	curFn      *fnState

@@ -40,7 +40,8 @@ type countedLoop struct {
 type hoistCand struct {
 	cl    countedLoop
 	loop  *ir.Loop
-	depth int // conditional-nesting depth during lowering; refs qualify at 0
+	s     *minic.ForStmt // source statement (affine pass invariance scan)
+	depth int            // conditional-nesting depth during lowering; refs qualify at 0
 	// order/groups: per-array check ids, in first-reference order.
 	order  []*minic.VarDecl
 	groups map[*minic.VarDecl][]int
@@ -343,16 +344,17 @@ func (c *compiler) hoistExprSafe(e minic.Expr, v, hiVar *minic.VarDecl) bool {
 
 // enterHoistLoop opens a hoisting candidate when the For statement has
 // the counted shape; called after the loop condition lowers (references
-// in the condition belong to enclosing candidates).
+// in the condition belong to enclosing candidates). Both the canonical
+// hoist and the affine pass consume candidates.
 func (c *compiler) enterHoistLoop(s *minic.ForStmt, lp *ir.Loop) *hoistCand {
-	if !c.wantHoist {
+	if !c.wantHoist && !c.wantAffine {
 		return nil
 	}
 	cl, ok := c.matchCountedLoop(s)
 	if !ok {
 		return nil
 	}
-	cand := &hoistCand{cl: cl, loop: lp, groups: make(map[*minic.VarDecl][]int)}
+	cand := &hoistCand{cl: cl, loop: lp, s: s, groups: make(map[*minic.VarDecl][]int)}
 	c.hoistCands = append(c.hoistCands, cand)
 	return cand
 }
@@ -437,12 +439,24 @@ func (c *compiler) hoistFunc(fs *fnState) {
 	}
 }
 
-// hoistEndpointsOK rejects groups whose scaled endpoints leave the range
-// 32-bit address arithmetic represents exactly.
-func hoistEndpointsOK(d *minic.VarDecl, cl countedLoop) bool {
+// hoistEndpointsOK rejects groups whose preheader endpoint offsets
+// cannot be represented exactly in 32-bit address arithmetic. Both
+// endpoints are computed in int64 — scaled index plus the array's base
+// (global address or frame displacement) — and hoisting bails out,
+// leaving the always-safe per-iteration checks, when either folded
+// offset leaves int32. The former int32 multiply could wrap for a
+// large lower bound and silently check the wrong address.
+func (c *compiler) hoistEndpointsOK(d *minic.VarDecl, cl countedLoop) bool {
 	elem := int64(d.Type.Elem.Size())
-	lo := int64(cl.lo) * elem
-	if lo < -(1<<30) || lo > 1<<30 {
+	base := int64(int32(d.Addr))
+	if d.Storage != minic.StorageGlobal {
+		base = int64(c.frameOff[d])
+	}
+	fits := func(off int64) bool {
+		v := base + off
+		return off >= -(1<<30) && off <= 1<<30 && v >= -(1<<31) && v < 1<<31
+	}
+	if !fits(int64(cl.lo) * elem) {
 		return false
 	}
 	if cl.hiVar != nil {
@@ -452,8 +466,7 @@ func hoistEndpointsOK(d *minic.VarDecl, cl countedLoop) bool {
 	if !cl.incl {
 		last--
 	}
-	hi := last * elem
-	return hi >= -(1<<30) && hi <= 1<<30
+	return fits(last * elem)
 }
 
 func (c *compiler) applyHoist(fs *fnState, cand *hoistCand, dom map[*ir.Block]map[*ir.Block]bool, headBlock map[int]*ir.Block) {
@@ -494,7 +507,7 @@ func (c *compiler) applyHoist(fs *fnState, cand *hoistCand, dom map[*ir.Block]ma
 		if len(ids) == 0 {
 			continue
 		}
-		if !emptyConst && !hoistEndpointsOK(d, cl) {
+		if !emptyConst && !c.hoistEndpointsOK(d, cl) {
 			continue
 		}
 		groups = append(groups, group{d, ids})
@@ -530,6 +543,9 @@ func (c *compiler) applyHoist(fs *fnState, cand *hoistCand, dom map[*ir.Block]ma
 		return
 	}
 
+	// Narrowing audit: Elem.Size() is 1 (char) or 4 (int) — mini-C has
+	// no nested aggregates — so the int32 conversion cannot truncate;
+	// TestHoistNarrowingAudit pins the assumption.
 	elemOf := func(d *minic.VarDecl) int32 { return int32(d.Type.Elem.Size()) }
 	blocks := c.b.Detour(func() {
 		if cl.hiVar != nil {
@@ -546,6 +562,9 @@ func (c *compiler) applyHoist(fs *fnState, cand *hoistCand, dom map[*ir.Block]ma
 			// reference was going to reach the (much smaller) true bound
 			// and trap — so trap now rather than let the scaled address
 			// computation wrap.
+			// Narrowing audit: 2^30/elem with elem in {1,4} stays well
+			// inside int32, and H itself is compared as a signed word,
+			// so neither the division nor the compare can wrap.
 			guard := int32(1 << 30)
 			for _, gr := range groups {
 				if g := (int32(1) << 30) / elemOf(gr.d); g < guard {
@@ -573,11 +592,13 @@ func (c *compiler) applyHoist(fs *fnState, cand *hoistCand, dom map[*ir.Block]ma
 					c.b.Op(vm.ADD, vm.R(vm.EBX), vm.R(vm.ECX))
 				}
 				c.emitCheckForDecl(vm.EBX, d)
-				// Lowest referenced address: base + lo*elem.
+				// Lowest referenced address: base + lo*elem, folded in
+				// int64 (hoistEndpointsOK proved it fits int32).
+				loOff := int64(cl.lo) * int64(elem)
 				if d.Storage == minic.StorageGlobal {
-					c.b.Op(vm.MOV, vm.R(vm.EBX), vm.I(int32(d.Addr)+cl.lo*elem))
+					c.b.Op(vm.MOV, vm.R(vm.EBX), vm.I(int32(int64(int32(d.Addr))+loOff)))
 				} else {
-					c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.frameOff[d] + cl.lo*elem}))
+					c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: int32(int64(c.frameOff[d]) + loOff)}))
 				}
 				c.emitCheckForDecl(vm.EBX, d)
 			}
@@ -589,18 +610,23 @@ func (c *compiler) applyHoist(fs *fnState, cand *hoistCand, dom map[*ir.Block]ma
 			}
 			for _, gr := range groups {
 				d := gr.d
+				// Both endpoints fold base + scaled index in int64;
+				// hoistEndpointsOK proved each sum fits int32, so no
+				// 32-bit intermediate can wrap.
 				elem := int64(elemOf(d))
-				hiOff := int32(int64(last) * elem)
-				loOff := int32(int64(cl.lo) * elem)
+				hiOff := int64(last) * elem
+				loOff := int64(cl.lo) * elem
 				if d.Storage == minic.StorageGlobal {
-					c.b.Op(vm.MOV, vm.R(vm.EBX), vm.I(int32(d.Addr)+hiOff))
+					base := int64(int32(d.Addr))
+					c.b.Op(vm.MOV, vm.R(vm.EBX), vm.I(int32(base+hiOff)))
 					c.emitCheckForDecl(vm.EBX, d)
-					c.b.Op(vm.MOV, vm.R(vm.EBX), vm.I(int32(d.Addr)+loOff))
+					c.b.Op(vm.MOV, vm.R(vm.EBX), vm.I(int32(base+loOff)))
 					c.emitCheckForDecl(vm.EBX, d)
 				} else {
-					c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.frameOff[d] + hiOff}))
+					base := int64(c.frameOff[d])
+					c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: int32(base + hiOff)}))
 					c.emitCheckForDecl(vm.EBX, d)
-					c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.frameOff[d] + loOff}))
+					c.b.Op(vm.LEA, vm.R(vm.EBX), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: int32(base + loOff)}))
 					c.emitCheckForDecl(vm.EBX, d)
 				}
 			}

@@ -254,7 +254,7 @@ func TestStatKeysDeterministic(t *testing.T) {
 // TestPassNames pins the public registry: canonical order, no dups.
 func TestPassNames(t *testing.T) {
 	got := PassNames()
-	if len(got) != 2 || got[0] != "rce" || got[1] != "hoist" {
-		t.Fatalf("PassNames() = %v, want [rce hoist]", got)
+	if len(got) != 3 || got[0] != "rce" || got[1] != "hoist" || got[2] != "affine" {
+		t.Fatalf("PassNames() = %v, want [rce hoist affine]", got)
 	}
 }

@@ -20,15 +20,15 @@ import (
 // direct-emission back end, which the golden tests pin.
 
 // Pass is one optional IR-to-IR optimization pass. Passes run in the
-// fixed registry order (rce before hoist) regardless of the order names
-// appear in Config.Passes.
+// fixed registry order (rce before hoist before affine) regardless of
+// the order names appear in Config.Passes.
 type Pass interface {
 	Name() string
 	run(c *compiler, m *ir.Module) error
 }
 
 // passRegistry lists every available pass in canonical execution order.
-var passRegistry = []Pass{rcePass{}, hoistPass{}}
+var passRegistry = []Pass{rcePass{}, hoistPass{}, affinePass{}}
 
 // PassNames returns the valid Config.Passes entries in canonical order.
 func PassNames() []string {
@@ -117,10 +117,13 @@ func CompileIR(prog *minic.Program, cfg Config) (*vm.Program, *ir.Module, error)
 			stackSeg = x86seg.DS
 		}
 	}
-	wantHoist := false
+	wantHoist, wantAffine := false, false
 	for _, p := range passes {
-		if p.Name() == "hoist" {
+		switch p.Name() {
+		case "hoist":
 			wantHoist = true
+		case "affine":
+			wantAffine = true
 		}
 	}
 	c := &compiler{
@@ -137,6 +140,7 @@ func CompileIR(prog *minic.Program, cfg Config) (*vm.Program, *ir.Module, error)
 		deadChecks: make(map[int]bool),
 		declID:     make(map[*minic.VarDecl]int),
 		wantHoist:  wantHoist,
+		wantAffine: wantAffine,
 		stats:      make(map[string]uint64),
 	}
 	if err := c.layoutGlobals(); err != nil {
@@ -216,6 +220,7 @@ func (c *compiler) checkedDeclRef(addr vm.Reg, d *minic.VarDecl, idx minic.Expr,
 	rec.key, rec.vars = c.indexKey(d, idx, idxConst, idxReg)
 	c.checks[id] = rec
 	c.noteHoistRef(d, idx, idxConst, idxReg, id)
+	c.noteAffineRef(d, idx, idxConst, idxReg, id)
 	prev := c.b.SetCheck(id)
 	c.strat.emitCheckForDecl(c, addr, d)
 	c.b.SetCheck(prev)
@@ -349,4 +354,7 @@ type fnState struct {
 	frameOff map[*minic.VarDecl]int32
 	temps    map[int32]bool // EBP offsets of compiler-internal hoist slots
 	hoists   []*hoistCand
+	// affineRefs are the candidate computed-index references recorded
+	// for the affine pass (affine.go), in lowering order.
+	affineRefs []*affineRef
 }

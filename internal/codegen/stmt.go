@@ -22,7 +22,7 @@ func (c *compiler) genFunc(fn *minic.FuncDecl) error {
 	c.loops = nil
 	c.inLoop = 0
 	c.hoistCands = nil
-	if c.wantHoist {
+	if c.wantHoist || c.wantAffine {
 		c.addrTaken = make(map[*minic.VarDecl]bool)
 		c.scanAddrTaken(fn.Body)
 	}

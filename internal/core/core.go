@@ -84,7 +84,9 @@ type Options struct {
 	ElectricFence bool
 	// Passes names the IR optimization passes to run in the back end
 	// (see codegen.PassNames): "rce" eliminates redundant software
-	// checks, "hoist" moves loop-invariant checks into a preheader.
+	// checks, "hoist" moves loop-invariant checks into a preheader,
+	// "affine" replaces checks on affine computed indices (i*c1 + j*c2
+	// + c3 over counted-loop nests) with convex-hull endpoint checks.
 	// Order and duplicates are normalised away; empty keeps the output
 	// byte-identical to the historical direct back end.
 	Passes []string

@@ -87,6 +87,28 @@ func TestTier2Equivalence(t *testing.T) {
 	}
 }
 
+// TestTier2RangeKernels extends the equivalence sweep to the range
+// kernels under the full pass pipeline: the affine pass's preheader
+// blocks (guards, endpoint computations, skip detours) are new
+// superblock-formation territory and must deopt identically.
+func TestTier2RangeKernels(t *testing.T) {
+	for _, w := range workload.RangeKernels() {
+		for _, mode := range []Mode{ModeGCC, ModeBCC, ModeCash} {
+			opts := Options{SegRegs: 4, Passes: []string{"rce", "hoist", "affine"}}
+			a1, a2 := tierPair(t, w.Source, mode, opts)
+			compareTiers(t, fmt.Sprintf("%s/%v", w.Name, mode), a1, a2)
+
+			r2, err := runRaw(t, a2)
+			if err != nil {
+				t.Fatalf("%s %v tier2: %v", w.Name, mode, err)
+			}
+			if r2.SB == nil || r2.SB.Entries == 0 || r2.SB.InstrsRetired == 0 {
+				t.Fatalf("%s %v: tier-2 run retired nothing in superblocks: %+v", w.Name, mode, r2.SB)
+			}
+		}
+	}
+}
+
 // tier2LoopProgram is small enough to sweep exhaustively but loops
 // enough that most of its execution sits inside compiled superblocks.
 const tier2LoopProgram = `

@@ -1,0 +1,348 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// range.go is a small SCEV-style symbolic value-range domain. The back
+// end's affine check-consolidation pass ("affine", codegen/affine.go)
+// derives {base, stride, trip-count} chains for counted-loop induction
+// variables and represents each array-index expression as an Affine
+// form over symbols; this file owns the algebra — normalization,
+// canonical keys, and checked interval evaluation — while the pass owns
+// the mapping from program variables to symbols and the soundness
+// conditions for using the resulting ranges.
+//
+// All arithmetic is performed in int64 and rejected when a value leaves
+// ±RangeBudget, so evaluation can never silently wrap: callers either
+// get exact integer intervals or an explicit failure.
+
+// Sym identifies a symbolic quantity — an induction variable or a
+// loop-invariant scalar — inside an Affine form. Symbol identity and
+// meaning belong to the caller; the domain only does arithmetic.
+type Sym int
+
+// NoSym marks an absent symbol slot in a Term.
+const NoSym Sym = -1
+
+// RangeBudget bounds every value the domain computes with. It is far
+// above any legal 32-bit index or scaled address, so hitting it means
+// the form is outside what the target's arithmetic can represent
+// exactly — the caller must bail rather than reason with wrapped values.
+const RangeBudget = int64(1) << 40
+
+// Term is one monomial of an affine form: Coeff, Coeff*X, or
+// Coeff*X*Y. Degree-0 constants fold into Affine.Const instead; X is
+// always present in a stored term, Y may be NoSym. Terms are kept
+// canonical with X <= Y.
+type Term struct {
+	Coeff int64
+	X, Y  Sym
+}
+
+func (t Term) degree() int {
+	if t.Y != NoSym {
+		return 2
+	}
+	return 1
+}
+
+// Affine is the normal form Const + Σ Terms. The zero value is the
+// constant 0.
+type Affine struct {
+	Const int64
+	Terms []Term
+}
+
+// AffineConst returns the constant form c.
+func AffineConst(c int64) Affine { return Affine{Const: c} }
+
+// AffineSym returns the form 1*s.
+func AffineSym(s Sym) Affine {
+	return Affine{Terms: []Term{{Coeff: 1, X: s, Y: NoSym}}}
+}
+
+func inBudget(v int64) bool { return v >= -RangeBudget && v <= RangeBudget }
+
+// addCheck adds with the budget enforced.
+func addCheck(a, b int64) (int64, bool) {
+	s := a + b
+	if !inBudget(a) || !inBudget(b) || !inBudget(s) {
+		return 0, false
+	}
+	return s, true
+}
+
+// mulCheck multiplies with the budget enforced. Inputs within
+// ±RangeBudget cannot overflow int64 undetected because the product is
+// checked by division.
+func mulCheck(a, b int64) (int64, bool) {
+	if !inBudget(a) || !inBudget(b) {
+		return 0, false
+	}
+	p := a * b
+	if a != 0 && p/a != b {
+		return 0, false
+	}
+	if !inBudget(p) {
+		return 0, false
+	}
+	return p, true
+}
+
+// normalize sorts terms, merges like monomials, and drops zero
+// coefficients. Returns ok=false when a merged coefficient leaves the
+// budget.
+func (a Affine) normalize() (Affine, bool) {
+	if !inBudget(a.Const) {
+		return Affine{}, false
+	}
+	terms := append([]Term(nil), a.Terms...)
+	for i := range terms {
+		if terms[i].Y != NoSym && terms[i].Y < terms[i].X {
+			terms[i].X, terms[i].Y = terms[i].Y, terms[i].X
+		}
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].X != terms[j].X {
+			return terms[i].X < terms[j].X
+		}
+		return terms[i].Y < terms[j].Y
+	})
+	out := terms[:0]
+	for _, t := range terms {
+		if len(out) > 0 && out[len(out)-1].X == t.X && out[len(out)-1].Y == t.Y {
+			c, ok := addCheck(out[len(out)-1].Coeff, t.Coeff)
+			if !ok {
+				return Affine{}, false
+			}
+			out[len(out)-1].Coeff = c
+			continue
+		}
+		out = append(out, t)
+	}
+	kept := out[:0]
+	for _, t := range out {
+		if t.Coeff != 0 {
+			kept = append(kept, t)
+		}
+	}
+	return Affine{Const: a.Const, Terms: append([]Term(nil), kept...)}, true
+}
+
+// Add returns a+b in normal form.
+func (a Affine) Add(b Affine) (Affine, bool) {
+	c, ok := addCheck(a.Const, b.Const)
+	if !ok {
+		return Affine{}, false
+	}
+	sum := Affine{Const: c, Terms: append(append([]Term(nil), a.Terms...), b.Terms...)}
+	return sum.normalize()
+}
+
+// Sub returns a-b in normal form.
+func (a Affine) Sub(b Affine) (Affine, bool) {
+	nb, ok := b.MulConst(-1)
+	if !ok {
+		return Affine{}, false
+	}
+	return a.Add(nb)
+}
+
+// MulConst returns a*c in normal form.
+func (a Affine) MulConst(c int64) (Affine, bool) {
+	k, ok := mulCheck(a.Const, c)
+	if !ok {
+		return Affine{}, false
+	}
+	out := Affine{Const: k}
+	for _, t := range a.Terms {
+		nc, ok := mulCheck(t.Coeff, c)
+		if !ok {
+			return Affine{}, false
+		}
+		out.Terms = append(out.Terms, Term{Coeff: nc, X: t.X, Y: t.Y})
+	}
+	return out.normalize()
+}
+
+// Mul returns a*b when the product stays within degree 2 (the domain's
+// ceiling: a product of two symbols). Anything higher — or a product of
+// two degree-2 terms — is outside the affine discipline and fails.
+func (a Affine) Mul(b Affine) (Affine, bool) {
+	out := Affine{}
+	var ok bool
+	if out.Const, ok = mulCheck(a.Const, b.Const); !ok {
+		return Affine{}, false
+	}
+	for _, t := range a.Terms {
+		c, ok := mulCheck(t.Coeff, b.Const)
+		if !ok {
+			return Affine{}, false
+		}
+		if c != 0 {
+			out.Terms = append(out.Terms, Term{Coeff: c, X: t.X, Y: t.Y})
+		}
+	}
+	for _, t := range b.Terms {
+		c, ok := mulCheck(t.Coeff, a.Const)
+		if !ok {
+			return Affine{}, false
+		}
+		if c != 0 {
+			out.Terms = append(out.Terms, Term{Coeff: c, X: t.X, Y: t.Y})
+		}
+	}
+	for _, ta := range a.Terms {
+		for _, tb := range b.Terms {
+			if ta.degree()+tb.degree() > 2 {
+				return Affine{}, false
+			}
+			c, ok := mulCheck(ta.Coeff, tb.Coeff)
+			if !ok {
+				return Affine{}, false
+			}
+			if c != 0 {
+				out.Terms = append(out.Terms, Term{Coeff: c, X: ta.X, Y: tb.X})
+			}
+		}
+	}
+	return out.normalize()
+}
+
+// Key renders the form canonically: equal forms produce equal keys, so
+// the pass can group references covered by the same endpoint pair.
+func (a Affine) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d", a.Const)
+	for _, t := range a.Terms {
+		fmt.Fprintf(&sb, "+%d*s%d", t.Coeff, t.X)
+		if t.Y != NoSym {
+			fmt.Fprintf(&sb, "*s%d", t.Y)
+		}
+	}
+	return sb.String()
+}
+
+// Interval is a closed integer interval [Lo, Hi].
+type Interval struct{ Lo, Hi int64 }
+
+// Point returns the degenerate interval [v, v].
+func Point(v int64) Interval { return Interval{v, v} }
+
+func (iv Interval) valid() bool {
+	return iv.Lo <= iv.Hi && inBudget(iv.Lo) && inBudget(iv.Hi)
+}
+
+// addIv adds two intervals exactly.
+func addIv(a, b Interval) (Interval, bool) {
+	lo, ok1 := addCheck(a.Lo, b.Lo)
+	hi, ok2 := addCheck(a.Hi, b.Hi)
+	if !ok1 || !ok2 {
+		return Interval{}, false
+	}
+	return Interval{lo, hi}, true
+}
+
+// mulIv multiplies two intervals exactly (4-corner min/max).
+func mulIv(a, b Interval) (Interval, bool) {
+	var vals [4]int64
+	pairs := [4][2]int64{{a.Lo, b.Lo}, {a.Lo, b.Hi}, {a.Hi, b.Lo}, {a.Hi, b.Hi}}
+	for i, p := range pairs {
+		v, ok := mulCheck(p[0], p[1])
+		if !ok {
+			return Interval{}, false
+		}
+		vals[i] = v
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return Interval{lo, hi}, true
+}
+
+// Env assigns symbols known constant intervals. A symbol missing from
+// the env is unbounded, which makes evaluation fail.
+type Env map[Sym]Interval
+
+// Eval computes the exact interval of the form under env. It fails when
+// a symbol is unbounded, an interval is malformed, or any intermediate
+// leaves ±RangeBudget. The result is the true min/max of the form over
+// the box env describes: every term is monotone in each symbol, so
+// corner evaluation (via interval arithmetic on the normal form) is
+// exact, not an over-approximation — which is what lets the pass use
+// the endpoints as actually-referenced indices.
+func (a Affine) Eval(env Env) (Interval, bool) {
+	acc := Point(a.Const)
+	for _, t := range a.Terms {
+		x, ok := env[t.X]
+		if !ok || !x.valid() {
+			return Interval{}, false
+		}
+		term := x
+		if t.Y != NoSym {
+			y, ok := env[t.Y]
+			if !ok || !y.valid() {
+				return Interval{}, false
+			}
+			if term, ok = mulIv(term, y); !ok {
+				return Interval{}, false
+			}
+		}
+		if term, ok = mulIv(term, Point(t.Coeff)); !ok {
+			return Interval{}, false
+		}
+		if acc, ok = addIv(acc, term); !ok {
+			return Interval{}, false
+		}
+	}
+	return acc, true
+}
+
+// IVRange is the value range of a counted-loop induction variable
+// `for (v = Lo; v < H; v++)` (or <= when Incl): the trip-count chain's
+// {base, stride=1, bound} rendered as the closed interval of values v
+// takes in iterations that execute the body. HiSym names a runtime
+// bound; HiConst is used when HiSym is NoSym.
+type IVRange struct {
+	Lo      int64
+	HiConst int64
+	HiSym   Sym
+	Incl    bool
+}
+
+// ConstRange resolves the iv's closed value interval when the bound is
+// a compile-time constant; ok=false for symbolic bounds or empty loops.
+func (r IVRange) ConstRange() (Interval, bool) {
+	if r.HiSym != NoSym {
+		return Interval{}, false
+	}
+	hi := r.HiConst
+	if !r.Incl {
+		hi--
+	}
+	if hi < r.Lo {
+		return Interval{}, false // zero-trip loop: no values at all
+	}
+	return Interval{r.Lo, hi}, true
+}
+
+// Empty reports whether a constant-bound loop executes zero iterations.
+func (r IVRange) Empty() bool {
+	if r.HiSym != NoSym {
+		return false
+	}
+	hi := r.HiConst
+	if !r.Incl {
+		hi--
+	}
+	return hi < r.Lo
+}

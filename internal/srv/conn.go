@@ -177,11 +177,7 @@ func (c *srvConn) readLoop() {
 		}
 		if ok, retry := c.bucket.take(c.s.now()); !ok {
 			mReqQuota.Inc()
-			ms := retry.Milliseconds()
-			if ms < 1 {
-				ms = 1
-			}
-			c.send(h.ID, TError, ErrorResponse{Code: CodeQuota, Message: "per-client quota exhausted", RetryAfterMillis: ms})
+			c.send(h.ID, TError, ErrorResponse{Code: CodeQuota, Message: "per-client quota exhausted", RetryAfterMillis: ceilMillis(retry)})
 			continue
 		}
 		if code, retry := c.s.tryEnqueue(&task{c: c, h: h, body: body}); code != "" {

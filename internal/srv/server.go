@@ -181,16 +181,28 @@ func (s *Server) writeTimeout() time.Duration {
 	return DefaultWriteTimeout
 }
 
+// ceilMillis converts a retry hint to whole milliseconds, rounding up.
+// Milliseconds() truncates, so a 2.7ms wait would become a 2ms hint and
+// a well-behaved client would come back while the quota is still
+// exhausted, burn the retry, and be told to wait again. Never below 1ms:
+// a zero hint reads as "retry immediately".
+func ceilMillis(d time.Duration) int64 {
+	ms := d.Milliseconds()
+	if d > time.Duration(ms)*time.Millisecond {
+		ms++
+	}
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
 func (s *Server) retryAfterMillis() int64 {
 	d := s.cfg.RetryAfter
 	if d <= 0 {
 		d = DefaultRetryAfter
 	}
-	ms := d.Milliseconds()
-	if ms < 1 {
-		ms = 1
-	}
-	return ms
+	return ceilMillis(d)
 }
 
 func (s *Server) maxFrame() int {

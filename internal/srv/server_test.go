@@ -369,6 +369,22 @@ func TestServerPerClientQuota(t *testing.T) {
 	if se.RetryAfter <= 0 {
 		t.Fatal("quota response must carry a retry-after hint")
 	}
+	// Rate 2/s and an empty bucket under a frozen clock: the next token
+	// is exactly 500ms away.
+	if se.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("retry-after = %v, want exactly 500ms", se.RetryAfter)
+	}
+	// A fractional wait must round UP: 100µs after the miss the next
+	// token is 499.9ms away, and a truncated 499ms hint would send the
+	// client back while the bucket is still empty.
+	advance(100 * time.Microsecond)
+	_, err = c.Run(ctx, RunRequest{Source: srcQuick, Mode: "cash"})
+	if !errors.As(err, &se) || se.Code != CodeQuota {
+		t.Fatalf("fractional-wait request: err=%v, want typed %s", err, CodeQuota)
+	}
+	if se.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("fractional retry-after = %v, want 500ms (rounded up from 499.9ms)", se.RetryAfter)
+	}
 	// A different connection has its own bucket.
 	c2 := dialClient(t, l)
 	if _, err := c2.Run(ctx, RunRequest{Source: srcQuick, Mode: "cash"}); err != nil {

@@ -1,0 +1,165 @@
+package workload
+
+import "fmt"
+
+// Range kernels: four synthetic programs whose checked references are
+// computed (affine) indices rather than bare induction variables. They
+// exercise the shapes the "affine" symbolic-range pass must recognise —
+// triangular nests, runtime-variable row strides, constant strides — and
+// one deliberate control it must leave alone. They are not part of the
+// paper's tables and are kept out of All(); benchmarks and tests pull
+// them in through RangeKernels().
+
+// RangeKernels returns the four range-analysis kernels at their default
+// sizes.
+func RangeKernels() []Workload {
+	return []Workload{
+		TriSolve(48),
+		Banded(64, 8),
+		StridedConv(96),
+		Gather(256),
+	}
+}
+
+// TriSolve is forward substitution on a unit lower-triangular system
+// stored as a flattened n x n matrix: the inner loop is bounded by the
+// outer induction variable, so a rectangular chain only forms after the
+// outer level is demoted to an invariant.
+func TriSolve(n int) Workload {
+	src := fmt.Sprintf(`
+// Unit lower-triangular forward substitution, flattened storage.
+int l[%[1]d]; // n*n
+int b[%[2]d];
+int x[%[2]d];
+void main() {
+	int n = %[2]d;
+	for (int i = 0; i < n; i++) {
+		b[i] = (i * 37) %% 1000;
+		for (int j = 0; j < n; j++) {
+			if (j < i) l[i*n+j] = (i + j * 3) %% 7 + 1;
+			else l[i*n+j] = 0;
+		}
+	}
+	for (int i = 0; i < n; i++) {
+		int s = 0;
+		for (int j = 0; j < i; j++) {
+			s += l[i*n+j] * x[j];
+		}
+		x[i] = (b[i] - s) %% 9973;
+	}
+	int sum = 0;
+	for (int i = 0; i < n; i++) sum += x[i];
+	printi(sum);
+}
+`, n*n, n)
+	return Workload{
+		Name:        fmt.Sprintf("trisolve%d", n),
+		Paper:       "(range kernel)",
+		Description: fmt.Sprintf("%dx%d unit lower-triangular solve, flattened rows", n, n),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// Banded multiplies a band matrix (n rows of w diagonals, flattened) by
+// a vector: the row stride w is a runtime variable, so the affine pass
+// must justify a guard on w through the inner loop it also bounds.
+func Banded(n, w int) Workload {
+	src := fmt.Sprintf(`
+// Band matrix times vector: row stride is a runtime variable.
+int a[%[1]d]; // n*w
+int x[%[2]d]; // n+w
+int y[%[3]d];
+void main() {
+	int n = %[3]d;
+	int w = %[4]d;
+	int m = n + w;
+	for (int i = 0; i < n; i++) {
+		y[i] = 0;
+		for (int j = 0; j < w; j++) {
+			a[i*w+j] = (i * 5 + j * 3) %% 11 + 1;
+		}
+	}
+	for (int i = 0; i < m; i++) x[i] = (i * 7) %% 13 + 1;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < w; j++) {
+			y[i] += a[i*w+j] * x[i+j];
+		}
+	}
+	int sum = 0;
+	for (int i = 0; i < n; i++) sum += y[i] %% 9973;
+	printi(sum);
+}
+`, n*w, n+w, n, w)
+	return Workload{
+		Name:        fmt.Sprintf("banded%dx%d", n, w),
+		Paper:       "(range kernel)",
+		Description: fmt.Sprintf("%d-row band matrix-vector product, %d diagonals", n, w),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// StridedConv is a stride-4 correlation with 4 taps: a constant-stride
+// computed index with a constant-bound inner loop, the pure-constant
+// corner of the affine domain.
+func StridedConv(n int) Workload {
+	src := fmt.Sprintf(`
+// Stride-4 correlation with a 4-tap kernel.
+int x[%[1]d]; // 4*n+4
+int w[4];
+int y[%[2]d];
+void main() {
+	int n = %[2]d;
+	int m = 4 * n + 4;
+	for (int i = 0; i < m; i++) x[i] = (i * 3) %% 7 + 1;
+	for (int k = 0; k < 4; k++) w[k] = k + 1;
+	for (int i = 0; i < n; i++) {
+		int s = 0;
+		for (int k = 0; k < 4; k++) {
+			s += x[i*4+k] * w[k];
+		}
+		y[i] = s %% 9973;
+	}
+	int sum = 0;
+	for (int i = 0; i < n; i++) sum += y[i];
+	printi(sum);
+}
+`, 4*n+4, n)
+	return Workload{
+		Name:        fmt.Sprintf("sconv%d", n),
+		Paper:       "(range kernel)",
+		Description: fmt.Sprintf("stride-4 4-tap correlation over %d outputs", n),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// Gather sums through a permutation table: a[idx[i]] is a data-dependent
+// index no static range analysis can bound, so the affine pass must
+// leave it checked per iteration (the idx[i] reads themselves are plain
+// induction-variable references and belong to the hoist pass).
+func Gather(n int) Workload {
+	src := fmt.Sprintf(`
+// Indirect gather through a permutation table: the control kernel.
+int a[%[1]d];
+int idx[%[1]d];
+void main() {
+	int n = %[1]d;
+	for (int i = 0; i < n; i++) a[i] = (i * 13) %% 31 + 1;
+	for (int i = 0; i < n; i++) idx[i] = (i * 631) %% n;
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		s += a[idx[i]];
+	}
+	printi(s);
+}
+`, n)
+	return Workload{
+		Name:        fmt.Sprintf("gather%d", n),
+		Paper:       "(range kernel)",
+		Description: fmt.Sprintf("indirect sum through a %d-entry permutation", n),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}

@@ -82,9 +82,10 @@ func NetworkApps() []Workload {
 	return []Workload{Qpopper(), Apache(), Sendmail(), WuFTPD(), PureFTPD(), Bind()}
 }
 
-// ByName finds a workload across all categories.
+// ByName finds a workload across all categories, including the range
+// kernels (which are not part of All()).
 func ByName(name string) (Workload, bool) {
-	for _, w := range All() {
+	for _, w := range append(All(), RangeKernels()...) {
 		if w.Name == name {
 			return w, true
 		}
