@@ -11,20 +11,27 @@
 // selectors, shadow registers, the granularity bit), a cycle-modelled
 // x86-flavoured machine, the OS support (modify_ldt, the cash_modify_ldt
 // call gate, the user-space free list and 3-entry segment cache), a
-// mini-C compiler with three back ends (unchecked GCC, software-checked
-// BCC, segment-checked Cash), and the paper's entire benchmark suite.
+// mini-C compiler with a registry of checking strategies (unchecked
+// "gcc", software-checked "bcc", segment-checked "cash", MPX-style
+// "mpx" — see Strategies), and the paper's entire benchmark suite.
 //
-// Quick start:
+// Quick start — build under a named strategy and run:
 //
 //	art, err := cash.Build(src, cash.ModeCash, cash.Options{})
 //	res, err := art.Run()
 //	if res.Violation != nil { /* overflow caught by segment hardware */ }
 //
-// Compare the three compilers on one program:
+// A Mode is simply a strategy name; any name listed by Strategies works:
 //
-//	cmp, err := cash.Compare("kernel", src, cash.Options{})
-//	fmt.Printf("Cash +%.1f%%, BCC +%.1f%%\n",
-//		cmp.CashOverheadPct(), cmp.BCCOverheadPct())
+//	art, err := cash.Build(src, "mpx", cash.Options{})
+//
+// Compare strategies on one program (empty Strategies means the paper's
+// gcc/bcc/cash trio):
+//
+//	cmp, err := cash.CompareStrategies("kernel", src,
+//		cash.CompareConfig{Strategies: []string{"gcc", "bcc", "cash", "mpx"}})
+//	fmt.Printf("Cash +%.1f%%, MPX +%.1f%%\n",
+//		cmp.OverheadPct("cash"), cmp.OverheadPct("mpx"))
 //
 // Regenerate a paper table:
 //
@@ -62,10 +69,13 @@ const (
 	DefaultChaosRate float64 = chaos.DefaultRate
 )
 
-// Mode selects one of the three compilers.
+// Mode names a checking strategy from the registry (see Strategies).
+// It is the strategy name itself, so any registered strategy can be
+// requested with a plain string; the constants below name the built-in
+// strategies and remain valid everywhere a Mode is accepted.
 type Mode = core.Mode
 
-// Compiler modes.
+// The built-in checking strategies.
 const (
 	// ModeGCC compiles without bound checks (the baseline).
 	ModeGCC = core.ModeGCC
@@ -75,7 +85,39 @@ const (
 	// ModeCash compiles with segmentation-hardware bound checks: one
 	// segment per array, 2-word pointers, loop-hoisted segment loads.
 	ModeCash = core.ModeCash
+	// ModeMPX compiles with MPX-style bound checks: thin 1-word
+	// pointers, a shadow bounds table keyed by pointer location, and
+	// 1-cycle bndcl/bndcu checks with 10-cycle table loads/stores.
+	ModeMPX = core.ModeMPX
 )
+
+// StrategySpec describes one registered checking strategy.
+type StrategySpec struct {
+	// Name is the registry name — a valid Mode value ("gcc", "bcc",
+	// "cash", "mpx").
+	Name string
+	// Description is a one-line summary of the lowering.
+	Description string
+	// Kind is "lowering" for pure instruction lowerings (gcc, bcc) and
+	// "hardware-modeled" for strategies backed by a simulated hardware
+	// checking feature (cash's segmentation, mpx's bounds registers).
+	Kind string
+}
+
+// Strategies lists every registered checking strategy in registration
+// order. The names are the valid Mode values.
+func Strategies() []StrategySpec {
+	infos := core.Strategies()
+	out := make([]StrategySpec, len(infos))
+	for i, in := range infos {
+		out[i] = StrategySpec{Name: in.Name, Description: in.Description, Kind: string(in.Kind)}
+	}
+	return out
+}
+
+// StrategyNames lists the registered strategy names in registration
+// order.
+func StrategyNames() []string { return core.StrategyNames() }
 
 // Options tunes a build; the zero value reproduces the paper's default
 // prototype (3 segment registers, read and write checks, call gate).
@@ -88,8 +130,13 @@ type Artifact = core.Artifact
 // bound violation.
 type RunResult = core.RunResult
 
-// Comparison holds a three-mode evaluation of one program.
+// Comparison holds a multi-strategy evaluation of one program.
 type Comparison = core.Comparison
+
+// CompareConfig configures a multi-strategy comparison: which strategies
+// to compare (the first is the baseline; empty means gcc, bcc, cash) and
+// the build options shared by every column.
+type CompareConfig = core.CompareConfig
 
 // LoopCharacteristics are the static per-program loop statistics of the
 // paper's characteristics tables.
@@ -118,24 +165,39 @@ type ResilienceReport = netsim.ResilienceReport
 // ModeResilience is one compiler mode's slice of a ResilienceReport.
 type ModeResilience = netsim.ModeResilience
 
-// Build parses, type-checks and compiles mini-C source for a mode.
+// Build parses, type-checks and compiles mini-C source for the named
+// checking strategy. Unknown strategy names yield an error listing the
+// valid names.
 func Build(source string, mode Mode, opts Options) (*Artifact, error) {
 	return core.Build(source, mode, opts)
 }
 
 // PassNames lists the IR optimization passes Options.Passes accepts, in
-// execution order: "rce" (redundant-check elimination) and "hoist"
-// (loop-invariant check hoisting). With no passes the back end's output
-// is byte-identical to the historical direct emitter.
+// execution order: "rce" (redundant-check elimination), "hoist"
+// (loop-invariant check hoisting), "affine" (convex-hull endpoint checks
+// for affine indices) and "chop" (straight-line consolidation of nearby
+// checks into one hull check). With no passes the back end's output is
+// byte-identical to the historical direct emitter.
 func PassNames() []string { return codegen.PassNames() }
 
 // StatKeys lists every static codegen counter an Artifact's StaticStats
 // may carry, in the deterministic order tools print them.
 func StatKeys() []string { return codegen.StatKeys() }
 
+// CompareStrategies builds and runs source under every strategy named in
+// cfg and reports cycles, check counts and code sizes. It fails if any
+// strategy's output differs from the baseline (the first strategy) or a
+// bound violation occurs.
+func CompareStrategies(name, source string, cfg CompareConfig) (*Comparison, error) {
+	return core.CompareStrategies(name, source, cfg)
+}
+
 // Compare builds and runs source under GCC, BCC and Cash and reports
 // cycles, check counts and code sizes. It fails if the program output
 // differs between modes or a bound violation occurs.
+//
+// Deprecated: Use CompareStrategies, which accepts any registered
+// strategy set. This wrapper keeps working and compares gcc, bcc, cash.
 func Compare(name, source string, opts Options) (*Comparison, error) {
 	return core.Compare(name, source, opts)
 }
@@ -222,9 +284,20 @@ func (e *Engine) RunContext(ctx context.Context, art *Artifact) (*RunResult, err
 	return e.runtime().RunContext(ctx, art)
 }
 
+// CompareStrategiesContext is CompareStrategies through the Engine:
+// every strategy's build and run is cached, pooled and
+// admission-controlled like any other request.
+func (e *Engine) CompareStrategiesContext(ctx context.Context, name, source string, cfg CompareConfig) (*Comparison, error) {
+	return e.runtime().CompareStrategiesContext(ctx, name, source, cfg)
+}
+
 // CompareContext is Compare through the Engine: the three builds and
 // runs are cached, pooled and admission-controlled like any other
 // request.
+//
+// Deprecated: Use CompareStrategiesContext, which accepts any
+// registered strategy set. This wrapper keeps working and compares
+// gcc, bcc, cash.
 func (e *Engine) CompareContext(ctx context.Context, name, source string, opts Options) (*Comparison, error) {
 	return e.runtime().CompareContext(ctx, name, source, opts)
 }
@@ -406,6 +479,15 @@ func AllTablesTimed(requests int) ([]*ResultTable, []TableTiming, error) {
 // regenerates the whole suite under the optimizing back end; the
 // checked-in goldens pin both settings.
 func SetBenchPasses(passes []string) { bench.SetPasses(passes) }
+
+// SetBenchStrategies restricts the strategy-matrix table to the named
+// checking strategies (`cashbench -table strategy-matrix -strategy
+// mpx`); nil restores the full-registry sweep. Unknown names are
+// rejected with an error listing the valid ones (see Strategies).
+func SetBenchStrategies(names []string) error {
+	_, err := bench.SetStrategyFilter(names)
+	return err
+}
 
 // SetBenchTier2 switches every table generator onto the tier-2
 // superblock engine (`cashbench -tier2`). Tier-2 execution is

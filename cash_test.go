@@ -76,8 +76,8 @@ func TestPublicTableDispatch(t *testing.T) {
 	if _, err := Table("table99"); err == nil {
 		t.Fatal("unknown table id must error")
 	}
-	if len(TableIDs()) != 20 {
-		t.Fatalf("TableIDs = %d entries, want 20", len(TableIDs()))
+	if len(TableIDs()) != 21 {
+		t.Fatalf("TableIDs = %d entries, want 21", len(TableIDs()))
 	}
 	for _, id := range TableIDs() {
 		if id == "table1" || id == "table8" {
@@ -148,10 +148,12 @@ func TestPublicTablesRegistry(t *testing.T) {
 		if sp.Generate == nil {
 			t.Fatalf("%s: nil generator", sp.ID)
 		}
-		// resilience (chaos-seeded), ablation-passes, and
-		// ablation-affine (pass-enabled rebuilds) are excluded from
-		// -all to keep the historical full-suite golden byte-identical.
-		wantInAll := sp.ID != "resilience" && sp.ID != "ablation-passes" && sp.ID != "ablation-affine"
+		// resilience (chaos-seeded), ablation-passes, ablation-affine
+		// (pass-enabled rebuilds), and strategy-matrix (post-registry
+		// strategies) are excluded from -all to keep the historical
+		// full-suite golden byte-identical.
+		wantInAll := sp.ID != "resilience" && sp.ID != "ablation-passes" &&
+			sp.ID != "ablation-affine" && sp.ID != "strategy-matrix"
 		if sp.InAll != wantInAll {
 			t.Fatalf("%s: InAll = %v, want %v", sp.ID, sp.InAll, wantInAll)
 		}

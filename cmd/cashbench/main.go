@@ -25,6 +25,14 @@
 //
 //	cashbench -table resilience -chaos-seed 1 -chaos-rate 0.05
 //
+// The strategy-matrix table sweeps every registered checking strategy
+// (cashc -list-strategies) against every pass pipeline; -strategy
+// restricts the sweep to a comma-separated subset. An unknown name
+// fails with an error listing the valid ones. -mode is the deprecated
+// spelling of -strategy:
+//
+//	cashbench -table strategy-matrix -strategy mpx,bcc
+//
 // Observability (see internal/obs): the metrics flags report the
 // registry delta across exactly the work this process did — counters
 // from every layer (vm, paging, ldt, core, netsim) plus the shared
@@ -124,10 +132,27 @@ func run() (err error) {
 		repeat      = flag.Int("repeat", 1, "with -all, serve the suite this many times through one Engine (later passes must match pass 1)")
 		noCache     = flag.Bool("no-cache", false, "disable the Engine's artifact/run cache")
 		noPool      = flag.Bool("no-pool", false, "disable the Engine's machine pool")
-		passesFlag  = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist,affine) applied to every experiment")
+		passesFlag  = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist,affine,chop) applied to every experiment")
 		tier2       = flag.Bool("tier2", false, "execute every experiment through the tier-2 superblock engine (tables stay byte-identical)")
+		strategy    = flag.String("strategy", "", "comma-separated checking strategies restricting -table strategy-matrix (default: every registered strategy)")
+		modeFlag    = flag.String("mode", "", "deprecated alias for -strategy")
 	)
 	flag.Parse()
+
+	if sel := *strategy; sel != "" || *modeFlag != "" {
+		if sel == "" {
+			sel = *modeFlag
+		}
+		var names []string
+		for _, n := range strings.Split(sel, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if err := cash.SetBenchStrategies(names); err != nil {
+			return err
+		}
+	}
 
 	if *passesFlag != "" {
 		var passes []string

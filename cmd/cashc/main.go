@@ -1,12 +1,15 @@
-// Command cashc compiles a mini-C source file under one of the three
-// compiler modes (gcc, bcc, cash) and prints the generated assembly
-// listing plus static statistics — the tool to inspect how Cash
-// instruments array references.
+// Command cashc compiles a mini-C source file under one of the
+// registered checking strategies (gcc, bcc, cash, mpx) and prints the
+// generated assembly listing plus static statistics — the tool to
+// inspect how each strategy instruments array references.
 //
 // Usage:
 //
-//	cashc [-mode gcc|bcc|cash] [-segregs 2|3|4] [-size] file.c
-//	cashc -workload matmul40 -mode cash
+//	cashc [-strategy gcc|bcc|cash|mpx] [-segregs 2|3|4] [-size] file.c
+//	cashc -workload matmul40 -strategy cash
+//	cashc -list-strategies
+//
+// -mode is a deprecated alias for -strategy.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"cash"
 )
@@ -27,14 +31,22 @@ func main() {
 
 func run() error {
 	var (
-		modeName = flag.String("mode", "cash", "compiler mode: gcc, bcc or cash")
+		strategy = flag.String("strategy", "", "checking strategy (see -list-strategies); default cash")
+		modeName = flag.String("mode", "", "deprecated alias for -strategy")
 		segRegs  = flag.Int("segregs", 3, "segment register budget for cash mode (2, 3 or 4)")
 		sizeOnly = flag.Bool("size", false, "print only the code-size estimate")
 		wlName   = flag.String("workload", "", "compile a built-in workload instead of a file")
+		listStra = flag.Bool("list-strategies", false, "list the registered checking strategies and exit")
 	)
 	flag.Parse()
 
-	mode, err := parseMode(*modeName)
+	if *listStra {
+		for _, s := range cash.Strategies() {
+			fmt.Printf("%-6s %-16s %s\n", s.Name, "["+s.Kind+"]", s.Description)
+		}
+		return nil
+	}
+	mode, err := pickStrategy(*strategy, *modeName)
 	if err != nil {
 		return err
 	}
@@ -64,17 +76,23 @@ func run() error {
 	return nil
 }
 
-func parseMode(s string) (cash.Mode, error) {
-	switch s {
-	case "gcc":
-		return cash.ModeGCC, nil
-	case "bcc":
-		return cash.ModeBCC, nil
-	case "cash":
-		return cash.ModeCash, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q", s)
+// pickStrategy resolves the -strategy flag (with -mode as a deprecated
+// alias) against the strategy registry; empty means cash.
+func pickStrategy(strategy, mode string) (cash.Mode, error) {
+	s := strategy
+	if s == "" {
+		s = mode
 	}
+	if s == "" {
+		s = "cash"
+	}
+	for _, name := range cash.StrategyNames() {
+		if s == name {
+			return cash.Mode(s), nil
+		}
+	}
+	return "", fmt.Errorf("unknown strategy %q (valid: %s)",
+		s, strings.Join(cash.StrategyNames(), ", "))
 }
 
 func loadSource(wlName string, args []string) (source, name string, err error) {

@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	cashrun [-mode gcc|bcc|cash] [-segregs N] [-passes rce,hoist,affine] [-compare] [-trace] file.c
+//	cashrun [-strategy gcc|bcc|cash|mpx] [-segregs N] [-passes rce,hoist,affine,chop] [-compare] [-trace] file.c
 //	cashrun -workload toast -compare
+//
+// -mode is a deprecated alias for -strategy.
 //
 // -passes enables IR optimization passes (-stats prints the static
 // codegen counters they affect; -dump-ir prints the optimized IR to
@@ -55,14 +57,15 @@ func main() {
 
 func run() (err error) {
 	var (
-		modeName = flag.String("mode", "cash", "compiler mode: gcc, bcc or cash")
+		strategy = flag.String("strategy", "", "checking strategy: gcc, bcc, cash or mpx; default cash")
+		modeName = flag.String("mode", "", "deprecated alias for -strategy")
 		segRegs  = flag.Int("segregs", 3, "segment register budget for cash mode")
 		compare  = flag.Bool("compare", false, "run all three modes and compare")
 		trace    = flag.Bool("trace", false, "print the Figure-1 translation pipeline demo")
 		wlName   = flag.String("workload", "", "run a built-in workload instead of a file")
 		events   = flag.Bool("events", false, "record a machine-event trace and print it to stderr")
 		eventsJS = flag.String("events-json", "", "record a machine-event trace and write it to this file as JSON")
-		passes   = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist,affine); empty disables")
+		passes   = flag.String("passes", "", "comma-separated IR optimization passes (rce,hoist,affine,chop); empty disables")
 		dumpIR   = flag.Bool("dump-ir", false, "print the optimized IR to stderr before running")
 		stats    = flag.Bool("stats", false, "print static codegen counters after the run")
 		tier2    = flag.Bool("tier2", false, "execute hot regions through the tier-2 superblock engine")
@@ -127,7 +130,7 @@ func run() (err error) {
 		return nil
 	}
 
-	mode, err := parseMode(*modeName)
+	mode, err := pickStrategy(*strategy, *modeName)
 	if err != nil {
 		return err
 	}
@@ -197,17 +200,23 @@ func splitPasses(s string) []string {
 	return out
 }
 
-func parseMode(s string) (cash.Mode, error) {
-	switch s {
-	case "gcc":
-		return cash.ModeGCC, nil
-	case "bcc":
-		return cash.ModeBCC, nil
-	case "cash":
-		return cash.ModeCash, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q", s)
+// pickStrategy resolves the -strategy flag (with -mode as a deprecated
+// alias) against the strategy registry; empty means cash.
+func pickStrategy(strategy, mode string) (cash.Mode, error) {
+	s := strategy
+	if s == "" {
+		s = mode
 	}
+	if s == "" {
+		s = "cash"
+	}
+	for _, name := range cash.StrategyNames() {
+		if s == name {
+			return cash.Mode(s), nil
+		}
+	}
+	return "", fmt.Errorf("unknown strategy %q (valid: %s)",
+		s, strings.Join(cash.StrategyNames(), ", "))
 }
 
 func loadSource(wlName string, args []string) (source, name string, err error) {

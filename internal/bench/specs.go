@@ -112,6 +112,13 @@ func Specs() []Spec {
 			Generate: func(ctx context.Context, eng *serve.Engine, _ int) (*Table, error) {
 				return ablationAffine(ctx, eng)
 			}},
+		// The strategy matrix also rides outside -all with its own
+		// golden: it post-dates the named-strategy registry, and folding
+		// it into -all would churn the historical suite goldens.
+		{ID: "strategy-matrix", Caption: "checking strategy x pass-pipeline matrix: kernels + range kernels", InAll: false,
+			Generate: func(ctx context.Context, eng *serve.Engine, _ int) (*Table, error) {
+				return strategyMatrix(ctx, eng)
+			}},
 		// The resilience generator deliberately ignores the caller's
 		// Engine: it measures on a fresh private one so its published
 		// metrics delta is a pure function of (requests, seed, rate) —

@@ -1,0 +1,266 @@
+package codegen
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cash/internal/vm"
+)
+
+// --- Chop: straight-line check consolidation -----------------------------
+
+// chopStencilSrc reads a 3-point stencil per iteration: three checks on
+// the same array whose indices differ only by a constant, all in one
+// straight-line region — the canonical chop shape.
+const chopStencilSrc = `
+int a[10];
+int main() {
+	int i;
+	int s = 0;
+	for (i = 1; i < 9; i++) {
+		s = s + a[i - 1] + a[i] + a[i + 1];
+	}
+	printi(s);
+	return 0;
+}
+`
+
+// chopLocalStencilSrc is the same stencil over a frame-allocated array,
+// exercising the LEA-displacement bound shape.
+const chopLocalStencilSrc = `
+int main() {
+	int a[10];
+	int i;
+	int s = 0;
+	for (i = 0; i < 10; i++) {
+		a[i] = i;
+	}
+	s = 0;
+	for (i = 1; i < 9; i++) {
+		s = s + a[i - 1] + a[i] + a[i + 1];
+	}
+	printi(s);
+	return 0;
+}
+`
+
+// chopConstDupSrc references constant subscripts repeatedly in straight
+// line (BCC checks outside loops too): duplicates and near-duplicates
+// collapse to one check.
+const chopConstDupSrc = `
+int a[10];
+int main() {
+	int s;
+	s = a[2] + a[3] + a[2] + a[7];
+	printi(s);
+	return 0;
+}
+`
+
+func chopConfigs(base Config) (off, on Config) {
+	off = base
+	on = base
+	on.Passes = []string{"chop"}
+	return off, on
+}
+
+// expectChopWins compiles src with and without the chop pass and
+// requires static and dynamic check reduction with identical output.
+func expectChopWins(t *testing.T, src string, base Config) {
+	t.Helper()
+	off, on := chopConfigs(base)
+	pOff := compile(t, src, off)
+	pOn := compile(t, src, on)
+	if pOn.Stats[StatChecksChop] == 0 {
+		t.Fatal("chop consolidated nothing on a stencil program")
+	}
+	if pOn.Stats[StatSWChecks] >= pOff.Stats[StatSWChecks] {
+		t.Fatalf("static sw checks not reduced: %d -> %d",
+			pOff.Stats[StatSWChecks], pOn.Stats[StatSWChecks])
+	}
+	resOff := mustRunMode(t, src, off)
+	resOn := mustRunMode(t, src, on)
+	if len(resOff.Output) != len(resOn.Output) {
+		t.Fatalf("output length changed: %v vs %v", resOff.Output, resOn.Output)
+	}
+	for i := range resOff.Output {
+		if resOff.Output[i] != resOn.Output[i] {
+			t.Fatalf("output[%d] changed: %d vs %d", i, resOff.Output[i], resOn.Output[i])
+		}
+	}
+	if resOn.Stats.SWChecks >= resOff.Stats.SWChecks {
+		t.Fatalf("dynamic sw checks not reduced: %d -> %d",
+			resOff.Stats.SWChecks, resOn.Stats.SWChecks)
+	}
+}
+
+func TestChopConsolidatesStencil(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		cfg  Config
+	}{
+		{"bcc global", chopStencilSrc, Config{Mode: vm.ModeBCC}},
+		{"bcc local", chopLocalStencilSrc, Config{Mode: vm.ModeBCC}},
+		{"bcc const dup", chopConstDupSrc, Config{Mode: vm.ModeBCC}},
+		{"bcc bound instr", chopStencilSrc, Config{Mode: vm.ModeBCC, UseBoundInstr: true}},
+		{"mpx global", chopStencilSrc, Config{Mode: vm.ModeMPX}},
+		{"mpx local", chopLocalStencilSrc, Config{Mode: vm.ModeMPX}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { expectChopWins(t, tc.src, tc.cfg) })
+	}
+}
+
+// TestChopPreservesViolation: the widened hull check must still trap
+// when any member of the consolidated group would have, on both bound
+// edges, with and without consolidation.
+func TestChopPreservesViolation(t *testing.T) {
+	srcs := map[string]string{
+		// i reaches 9: a[i+1] is a[10], one past the end.
+		"upper": `
+int a[10];
+int main() {
+	int i;
+	int s = 0;
+	for (i = 1; i < 12; i++) {
+		s = s + a[i - 1] + a[i] + a[i + 1];
+	}
+	printi(s);
+	return 0;
+}
+`,
+		// i starts at 0: a[i-1] is a[-1].
+		"lower": `
+int a[10];
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 9; i++) {
+		s = s + a[i - 1] + a[i] + a[i + 1];
+	}
+	printi(s);
+	return 0;
+}
+`,
+	}
+	for name, src := range srcs {
+		for _, mode := range []vm.Mode{vm.ModeBCC, vm.ModeMPX} {
+			t.Run(fmt.Sprintf("%s %v", name, mode), func(t *testing.T) {
+				off, on := chopConfigs(Config{Mode: mode})
+				if p := compile(t, src, on); p.Stats[StatChecksChop] == 0 {
+					t.Fatal("chop consolidated nothing")
+				}
+				var f *vm.Fault
+				_, err := runMode(t, src, off)
+				if !errors.As(err, &f) || f.Kind != vm.FaultSoftwareCheck {
+					t.Fatalf("unconsolidated: want software check fault, got %v", err)
+				}
+				_, err = runMode(t, src, on)
+				if !errors.As(err, &f) || f.Kind != vm.FaultSoftwareCheck {
+					t.Fatalf("consolidated: want software check fault, got %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestChopVerdictDifferential sweeps the stencil's loop bounds across
+// both array edges and requires the consolidated program to agree with
+// the unconsolidated one on the verdict — same output when neither
+// traps, a bound violation in both when either member trips — for every
+// strategy the pass applies to.
+func TestChopVerdictDifferential(t *testing.T) {
+	for _, mode := range []vm.Mode{vm.ModeBCC, vm.ModeMPX} {
+		for start := 0; start <= 2; start++ {
+			for end := 8; end <= 11; end++ {
+				src := fmt.Sprintf(`
+int a[10];
+int main() {
+	int i;
+	int s = 0;
+	for (i = %d; i < %d; i++) {
+		s = s + a[i - 1] + a[i + 1];
+	}
+	printi(s);
+	return 0;
+}
+`, start, end)
+				off, on := chopConfigs(Config{Mode: mode})
+				resOff, errOff := runMode(t, src, off)
+				resOn, errOn := runMode(t, src, on)
+				var fOff, fOn *vm.Fault
+				trapOff := errors.As(errOff, &fOff) && fOff.IsBoundViolation()
+				trapOn := errors.As(errOn, &fOn) && fOn.IsBoundViolation()
+				if (errOff == nil) != (errOn == nil) || trapOff != trapOn {
+					t.Fatalf("%v start=%d end=%d: verdict diverged: %v vs %v",
+						mode, start, end, errOff, errOn)
+				}
+				if errOff != nil {
+					continue
+				}
+				if len(resOff.Output) != len(resOn.Output) || resOff.Output[0] != resOn.Output[0] {
+					t.Fatalf("%v start=%d end=%d: output diverged: %v vs %v",
+						mode, start, end, resOff.Output, resOn.Output)
+				}
+			}
+		}
+	}
+}
+
+// TestChopRespectsRegionBreaks: a call between stencil members makes
+// consolidation unsound (output could precede the moved trap); the pass
+// must leave such groups alone.
+func TestChopRespectsRegionBreaks(t *testing.T) {
+	src := `
+int a[10];
+int main() {
+	int i;
+	int s = 0;
+	for (i = 1; i < 9; i++) {
+		s = s + a[i - 1];
+		printi(i);
+		s = s + a[i + 1];
+	}
+	printi(s);
+	return 0;
+}
+`
+	_, on := chopConfigs(Config{Mode: vm.ModeBCC})
+	if p := compile(t, src, on); p.Stats[StatChecksChop] != 0 {
+		t.Fatalf("chop consolidated across a call: %d", p.Stats[StatChecksChop])
+	}
+}
+
+// TestChopRespectsIndexStores: writing the index variable between two
+// references severs their group (the cores no longer match at runtime).
+func TestChopRespectsIndexStores(t *testing.T) {
+	src := `
+int a[10];
+int main() {
+	int i;
+	int s = 0;
+	for (i = 1; i < 8; i++) {
+		s = s + a[i];
+		i = i + 1;
+		s = s + a[i];
+	}
+	printi(s);
+	return 0;
+}
+`
+	_, on := chopConfigs(Config{Mode: vm.ModeBCC})
+	if p := compile(t, src, on); p.Stats[StatChecksChop] != 0 {
+		t.Fatalf("chop consolidated across an index store: %d", p.Stats[StatChecksChop])
+	}
+	expectSameOutput := func(cfg Config) []int32 {
+		res := mustRunMode(t, src, cfg)
+		return res.Output
+	}
+	off, _ := chopConfigs(Config{Mode: vm.ModeBCC})
+	a, b := expectSameOutput(off), expectSameOutput(on)
+	if len(a) != len(b) {
+		t.Fatalf("output diverged: %v vs %v", a, b)
+	}
+}

@@ -53,10 +53,12 @@ type Config struct {
 	UseBoundInstr bool
 	// Passes names the optimization passes to run on the IR, from
 	// PassNames(): "rce" (dominance-based redundant-check elimination),
-	// "hoist" (loop-invariant check hoisting) and "affine" (symbolic
+	// "hoist" (loop-invariant check hoisting), "affine" (symbolic
 	// range analysis consolidating affine computed-index checks into
-	// convex-hull endpoint checks). Empty means the emitted program is
-	// byte-identical to the historical direct back end.
+	// convex-hull endpoint checks) and "chop" (straight-line-region
+	// consolidation of same-array stencil checks into one convex-hull
+	// range check). Empty means the emitted program is byte-identical
+	// to the historical direct back end.
 	Passes []string
 }
 
@@ -84,13 +86,14 @@ const (
 	StatChecksElim    = "sw_checks_eliminated" // removed as dominated-redundant (rce)
 	StatChecksHoisted = "sw_checks_hoisted"    // replaced by preheader range checks (hoist)
 	StatChecksAffine  = "sw_checks_affine"     // replaced by affine endpoint checks (affine)
+	StatChecksChop    = "sw_checks_chop"       // consolidated into convex-hull checks (chop)
 )
 
 // StatKeys lists every static codegen statistic key in reporting order.
 func StatKeys() []string {
 	return []string{
 		StatHWChecks, StatSWChecks, StatChecksElim, StatChecksHoisted,
-		StatChecksAffine, StatSegments, StatLocalArrays,
+		StatChecksAffine, StatChecksChop, StatSegments, StatLocalArrays,
 	}
 }
 
@@ -134,6 +137,7 @@ type compiler struct {
 	addrTaken  map[*minic.VarDecl]bool
 	wantHoist  bool
 	wantAffine bool
+	wantChop   bool
 	hoistCands []*hoistCand
 	fns        []*fnState
 	curFn      *fnState

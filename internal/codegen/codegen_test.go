@@ -43,10 +43,10 @@ func mustRunMode(t *testing.T, src string, cfg Config) *vm.Result {
 	return res
 }
 
-var allModes = []vm.Mode{vm.ModeGCC, vm.ModeBCC, vm.ModeCash}
+var allModes = []vm.Mode{vm.ModeGCC, vm.ModeBCC, vm.ModeCash, vm.ModeMPX}
 
-// runAllModes runs src under the three compilers and requires identical
-// output.
+// runAllModes runs src under every checking strategy and requires
+// identical output.
 func runAllModes(t *testing.T, src string) map[vm.Mode]*vm.Result {
 	t.Helper()
 	results := make(map[vm.Mode]*vm.Result, len(allModes))

@@ -23,16 +23,16 @@ func (c *compiler) loadUncheckedMeta() {
 }
 
 // pushPtr / popPtr save and restore a pointer value plus metadata around
-// a sub-evaluation. Value word is pushed last so it pops first.
+// a sub-evaluation. Fat-pointer strategies stack the metadata words above
+// the value word (value pushed last so it pops first); MPX keys its
+// bounds table by the spill slot's address instead.
 func (c *compiler) pushPtr() {
-	c.strat.pushPtrMeta(c)
-	c.b.Op1(vm.PUSH, vm.R(vm.EAX))
+	c.strat.pushPtr(c)
 }
 
 // popPtr restores a pushed pointer into EAX + metadata registers.
 func (c *compiler) popPtr() {
-	c.b.Op1(vm.POP, vm.R(vm.EAX))
-	c.strat.popPtrMeta(c)
+	c.strat.popPtr(c)
 }
 
 // genExpr compiles e; result in EAX (+ metadata for pointers).

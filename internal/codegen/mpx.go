@@ -1,0 +1,170 @@
+package codegen
+
+import (
+	"cash/internal/minic"
+	"cash/internal/vm"
+)
+
+// MPX: Intel MPX-style bound checking. Pointers stay thin (1 word, so
+// aggregate layouts match GCC's exactly — the interoperability property
+// MPX was designed for); bounds live beside the program in a shadow
+// bounds table keyed by the address of the pointer's slot, maintained
+// with bndstx/bndldx, and checks are bndcl/bndcu pairs. The register
+// pair EDX (lower) / ECX (upper exclusive) plays the role of a bnd
+// register for in-flight pointer values, mirroring BCC's metadata
+// register convention so the two strategies differ only in where
+// at-rest bounds live and what the checks cost.
+//
+// Faithful cost structure (see internal/vm/cycles.go): the checks are
+// 1-cycle compare-class ops — MPX's selling point — while every
+// bndldx/bndstx pays the two-level Bounds Directory walk, which is
+// where MPX overhead concentrates on pointer-heavy code.
+//
+// Faithfully inherited weakness: bounds stored through anything other
+// than bndstx go stale. A pointer overwritten through a computed lvalue
+// keeps its old table entry, exactly the MPX hazard the literature
+// documents; BCC's adjacent metadata words have the same blind spot, so
+// differential runs agree.
+
+type mpxStrategy struct{}
+
+func (mpxStrategy) ptrWords() int32                                           { return 1 }
+func (mpxStrategy) analyzeFunc(c *compiler, fn *minic.FuncDecl) *funcAnalysis { return emptyAnalysis() }
+func (mpxStrategy) layoutUniverse(c *compiler)                                {}
+func (mpxStrategy) globalArrayInfo(c *compiler, g *minic.VarDecl)             {}
+func (mpxStrategy) stringInfo(c *compiler, lit *strLit)                       {}
+func (mpxStrategy) emitStartupAllocs(c *compiler)                             {}
+
+func (mpxStrategy) localArrayFrame(c *compiler, d *minic.VarDecl, cur int32) (int32, bool) {
+	return cur, false
+}
+
+// staticPointerMeta is a no-op: a slot with no bounds-table entry reads
+// as INIT (unbounded) under bndldx, which is exactly the meaning BCC
+// writes out as [0, 4GiB) metadata words.
+func (mpxStrategy) staticPointerMeta(c *compiler, addr uint32) {}
+
+func (mpxStrategy) loadUncheckedMeta(c *compiler) {
+	c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(0))
+	c.b.Op(vm.MOV, vm.R(vm.ECX), vm.I(-1))
+}
+
+// pushPtr spills a pointer by pushing the value word and keying the
+// bounds table with the spill slot's address — the bndstx-on-stack
+// protocol real MPX compilers use. Because a cdecl argument slot is the
+// same physical address in caller and callee, this same sequence passes
+// bounds across calls with 1-word argument slots.
+func (mpxStrategy) pushPtr(c *compiler) {
+	c.b.Op1(vm.PUSH, vm.R(vm.EAX))
+	c.b.Op(vm.BNDSTX, vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.ESP, HasBase: true}), vm.I(1))
+}
+
+func (mpxStrategy) popPtr(c *compiler) {
+	c.b.Emit(vm.Instr{Op: vm.BNDLDX, Src: vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.ESP, HasBase: true})})
+	c.b.Op1(vm.POP, vm.R(vm.EAX))
+}
+
+func (mpxStrategy) stringLitMeta(c *compiler, lit strLit) {
+	c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(lit.addr)))
+	c.b.Op(vm.MOV, vm.R(vm.ECX), vm.I(int32(lit.addr+lit.len)))
+}
+
+func (mpxStrategy) arrayDecayMeta(c *compiler, d *minic.VarDecl) {
+	size := int32(d.Type.Size())
+	c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
+	c.b.Op(vm.MOV, vm.R(vm.ECX), vm.R(vm.EAX))
+	c.b.Op(vm.ADD, vm.R(vm.ECX), vm.I(size))
+}
+
+func (mpxStrategy) pointerLoadMeta(c *compiler, d *minic.VarDecl) {
+	c.b.Emit(vm.Instr{Op: vm.BNDLDX, Src: vm.M(c.slotRef(d, 0))})
+}
+
+func (mpxStrategy) scalarAddrMeta(c *compiler, d *minic.VarDecl) {
+	c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
+	c.b.Op(vm.MOV, vm.R(vm.ECX), vm.R(vm.EAX))
+	c.b.Op(vm.ADD, vm.R(vm.ECX), vm.I(int32(d.Type.Size())))
+}
+
+func (mpxStrategy) storePointerMeta(c *compiler, d *minic.VarDecl) {
+	c.b.Op(vm.BNDSTX, vm.M(c.slotRef(d, 0)), vm.I(1))
+}
+
+func (mpxStrategy) storeUncheckedPointerMeta(c *compiler, d *minic.VarDecl) {
+	c.b.Op(vm.BNDSTX, vm.M(c.slotRef(d, 0)), vm.I(0))
+}
+
+func (mpxStrategy) mallocCall(c *compiler) {
+	// Capture the size so the returned pointer gets exact bounds.
+	c.b.Op(vm.MOV, vm.R(vm.ESI), vm.R(vm.EAX))
+	c.b.Emit(vm.Instr{Op: vm.HCALL, Src: vm.I(vm.HostMalloc)})
+	c.b.Op(vm.MOV, vm.R(vm.EDX), vm.R(vm.EAX))
+	c.b.Op(vm.MOV, vm.R(vm.ECX), vm.R(vm.EAX))
+	c.b.Op(vm.ADD, vm.R(vm.ECX), vm.R(vm.ESI))
+}
+
+func (mpxStrategy) pathFor(c *compiler, decl *minic.VarDecl) accessPath {
+	return pathSoft
+}
+
+func (mpxStrategy) emitCheckForDecl(c *compiler, addr vm.Reg, d *minic.VarDecl) {
+	switch {
+	case d.Type.Kind == minic.TypeArray && d.Storage == minic.StorageGlobal:
+		c.emitMPXCheck(addr, bccConstMeta(d))
+	case d.Type.Kind == minic.TypeArray:
+		c.emitMPXCheck(addr, checkMeta{kind: metaFrame, decl: d})
+	default:
+		c.emitMPXCheck(addr, checkMeta{kind: metaSlot, decl: d})
+	}
+}
+
+func (mpxStrategy) computedMetaPush(c *compiler) {
+	c.b.Op1(vm.PUSH, vm.R(vm.ECX))
+	c.b.Op1(vm.PUSH, vm.R(vm.EDX))
+}
+
+func (mpxStrategy) computedMetaCheck(c *compiler, addr vm.Reg) {
+	c.b.Op1(vm.POP, vm.R(vm.ESI)) // lower
+	c.b.Op1(vm.POP, vm.R(vm.EDI)) // upper
+	c.emitMPXCheck(addr, checkMeta{kind: metaRegs})
+}
+
+func (mpxStrategy) chopDirectArray() bool { return true }
+
+// emitMPXCheck emits the bndcl/bndcu check pair for the address held in
+// addr, resolving the bounds source per checkMeta like emitSoftCheck
+// does for the compare-sequence strategies. The instructions carry the
+// current check id (an anonymous, pass-ineligible one is opened when
+// the caller hasn't) so passes can remove or patch whole checks.
+//
+// No instruction carries NoteSWCheck: like BOUND, bndcl counts its own
+// execution in the interpreter closure, so tier-2 superblock prefix
+// sums cannot double-count it.
+func (c *compiler) emitMPXCheck(addr vm.Reg, meta checkMeta) {
+	if c.b.CurCheck() == 0 {
+		id := c.newCheck()
+		c.checks[id] = &checkRec{id: id}
+		prev := c.b.SetCheck(id)
+		defer c.b.SetCheck(prev)
+	}
+	switch meta.kind {
+	case metaConst:
+		c.b.Op(vm.BNDCL, vm.R(addr), vm.I(int32(meta.lo)))
+		c.b.Op(vm.BNDCU, vm.R(addr), vm.I(int32(meta.hi)))
+	case metaSlot:
+		c.b.Emit(vm.Instr{Op: vm.BNDLDX, Src: vm.M(c.slotRef(meta.decl, 0))})
+		c.b.Op(vm.BNDCL, vm.R(addr), vm.R(vm.EDX))
+		c.b.Op(vm.BNDCU, vm.R(addr), vm.R(vm.ECX))
+	case metaRegs:
+		c.b.Op(vm.BNDCL, vm.R(addr), vm.R(vm.ESI))
+		c.b.Op(vm.BNDCU, vm.R(addr), vm.R(vm.EDI))
+	case metaFrame:
+		d := meta.decl
+		size := int32(d.Type.Size())
+		c.b.Op(vm.LEA, vm.R(vm.ESI), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.frameOff[d]}))
+		c.b.Op(vm.BNDCL, vm.R(addr), vm.R(vm.ESI))
+		c.b.Op(vm.LEA, vm.R(vm.ESI), vm.M(vm.MemRef{Seg: c.stackSeg, Base: vm.EBP, HasBase: true, Disp: c.frameOff[d] + size}))
+		c.b.Op(vm.BNDCU, vm.R(addr), vm.R(vm.ESI))
+	}
+	c.stats[StatSWChecks]++
+}

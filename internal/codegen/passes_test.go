@@ -254,7 +254,7 @@ func TestStatKeysDeterministic(t *testing.T) {
 // TestPassNames pins the public registry: canonical order, no dups.
 func TestPassNames(t *testing.T) {
 	got := PassNames()
-	if len(got) != 3 || got[0] != "rce" || got[1] != "hoist" || got[2] != "affine" {
-		t.Fatalf("PassNames() = %v, want [rce hoist affine]", got)
+	if len(got) != 4 || got[0] != "rce" || got[1] != "hoist" || got[2] != "affine" || got[3] != "chop" {
+		t.Fatalf("PassNames() = %v, want [rce hoist affine chop]", got)
 	}
 }

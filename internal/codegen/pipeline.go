@@ -28,7 +28,7 @@ type Pass interface {
 }
 
 // passRegistry lists every available pass in canonical execution order.
-var passRegistry = []Pass{rcePass{}, hoistPass{}, affinePass{}}
+var passRegistry = []Pass{rcePass{}, hoistPass{}, affinePass{}, chopPass{}}
 
 // PassNames returns the valid Config.Passes entries in canonical order.
 func PassNames() []string {
@@ -117,13 +117,15 @@ func CompileIR(prog *minic.Program, cfg Config) (*vm.Program, *ir.Module, error)
 			stackSeg = x86seg.DS
 		}
 	}
-	wantHoist, wantAffine := false, false
+	wantHoist, wantAffine, wantChop := false, false, false
 	for _, p := range passes {
 		switch p.Name() {
 		case "hoist":
 			wantHoist = true
 		case "affine":
 			wantAffine = true
+		case "chop":
+			wantChop = true
 		}
 	}
 	c := &compiler{
@@ -141,6 +143,7 @@ func CompileIR(prog *minic.Program, cfg Config) (*vm.Program, *ir.Module, error)
 		declID:     make(map[*minic.VarDecl]int),
 		wantHoist:  wantHoist,
 		wantAffine: wantAffine,
+		wantChop:   wantChop,
 		stats:      make(map[string]uint64),
 	}
 	if err := c.layoutGlobals(); err != nil {
@@ -221,6 +224,7 @@ func (c *compiler) checkedDeclRef(addr vm.Reg, d *minic.VarDecl, idx minic.Expr,
 	c.checks[id] = rec
 	c.noteHoistRef(d, idx, idxConst, idxReg, id)
 	c.noteAffineRef(d, idx, idxConst, idxReg, id)
+	c.noteChopRef(d, idx, idxConst, idxReg, id)
 	prev := c.b.SetCheck(id)
 	c.strat.emitCheckForDecl(c, addr, d)
 	c.b.SetCheck(prev)
@@ -357,4 +361,7 @@ type fnState struct {
 	// affineRefs are the candidate computed-index references recorded
 	// for the affine pass (affine.go), in lowering order.
 	affineRefs []*affineRef
+	// chopRefs maps check ids to the direct-array reference shapes the
+	// chop pass can consolidate (chop.go).
+	chopRefs map[int]*chopRef
 }

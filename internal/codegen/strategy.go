@@ -35,10 +35,14 @@ type strategy interface {
 	// literals, §3.4).
 	emitStartupAllocs(c *compiler)
 
-	// Pointer-metadata emission.
+	// Pointer-metadata emission. pushPtr/popPtr spill and reload a whole
+	// pointer (value plus metadata) around a sub-evaluation: the fat-
+	// pointer strategies stack the metadata words above the value; MPX
+	// instead keys its bounds table by the spill slot's address, exactly
+	// like bndstx-on-stack in real MPX code.
 	loadUncheckedMeta(c *compiler)
-	pushPtrMeta(c *compiler)
-	popPtrMeta(c *compiler)
+	pushPtr(c *compiler)
+	popPtr(c *compiler)
 	stringLitMeta(c *compiler, lit strLit)
 	arrayDecayMeta(c *compiler, d *minic.VarDecl)
 	pointerLoadMeta(c *compiler, d *minic.VarDecl)
@@ -52,14 +56,10 @@ type strategy interface {
 	emitCheckForDecl(c *compiler, addr vm.Reg, d *minic.VarDecl)
 	computedMetaPush(c *compiler)
 	computedMetaCheck(c *compiler, addr vm.Reg)
-}
-
-// strategies maps each compiler mode to its lowering strategy. Absence
-// from this map makes a mode invalid at Config validation.
-var strategies = map[vm.Mode]strategy{
-	vm.ModeGCC:  gccStrategy{},
-	vm.ModeBCC:  bccStrategy{},
-	vm.ModeCash: cashStrategy{},
+	// chopDirectArray reports whether the strategy's direct-array check
+	// sequences have the constant- or frame-relative-bounds shapes the
+	// chop pass knows how to consolidate and patch (chop.go).
+	chopDirectArray() bool
 }
 
 // emptyAnalysis is the no-segment-register analysis result.
@@ -80,8 +80,8 @@ func (gccStrategy) staticPointerMeta(c *compiler, addr uint32)                  
 func (gccStrategy) stringInfo(c *compiler, lit *strLit)                         {}
 func (gccStrategy) emitStartupAllocs(c *compiler)                               {}
 func (gccStrategy) loadUncheckedMeta(c *compiler)                               {}
-func (gccStrategy) pushPtrMeta(c *compiler)                                     {}
-func (gccStrategy) popPtrMeta(c *compiler)                                      {}
+func (gccStrategy) pushPtr(c *compiler)                                         { c.b.Op1(vm.PUSH, vm.R(vm.EAX)) }
+func (gccStrategy) popPtr(c *compiler)                                          { c.b.Op1(vm.POP, vm.R(vm.EAX)) }
 func (gccStrategy) stringLitMeta(c *compiler, lit strLit)                       {}
 func (gccStrategy) arrayDecayMeta(c *compiler, d *minic.VarDecl)                {}
 func (gccStrategy) pointerLoadMeta(c *compiler, d *minic.VarDecl)               {}
@@ -92,6 +92,7 @@ func (gccStrategy) pathFor(c *compiler, decl *minic.VarDecl) accessPath         
 func (gccStrategy) emitCheckForDecl(c *compiler, addr vm.Reg, d *minic.VarDecl) {}
 func (gccStrategy) computedMetaPush(c *compiler)                                {}
 func (gccStrategy) computedMetaCheck(c *compiler, addr vm.Reg)                  {}
+func (gccStrategy) chopDirectArray() bool                                       { return false }
 
 func (gccStrategy) localArrayFrame(c *compiler, d *minic.VarDecl, cur int32) (int32, bool) {
 	return cur, false
@@ -128,12 +129,14 @@ func (bccStrategy) loadUncheckedMeta(c *compiler) {
 	c.b.Op(vm.MOV, vm.R(vm.ECX), vm.I(-1))
 }
 
-func (bccStrategy) pushPtrMeta(c *compiler) {
+func (bccStrategy) pushPtr(c *compiler) {
 	c.b.Op1(vm.PUSH, vm.R(vm.ECX))
 	c.b.Op1(vm.PUSH, vm.R(vm.EDX))
+	c.b.Op1(vm.PUSH, vm.R(vm.EAX))
 }
 
-func (bccStrategy) popPtrMeta(c *compiler) {
+func (bccStrategy) popPtr(c *compiler) {
+	c.b.Op1(vm.POP, vm.R(vm.EAX))
 	c.b.Op1(vm.POP, vm.R(vm.EDX))
 	c.b.Op1(vm.POP, vm.R(vm.ECX))
 }
@@ -206,6 +209,8 @@ func (bccStrategy) computedMetaCheck(c *compiler, addr vm.Reg) {
 	c.emitSoftCheck(addr, checkMeta{kind: metaRegs})
 }
 
+func (bccStrategy) chopDirectArray() bool { return true }
+
 // ---------------------------------------------------------------------
 // Cash: segmentation-hardware checking. 2-word pointers (value + shadow
 // info pointer), one segment per array, segment registers assigned FCFS
@@ -268,11 +273,13 @@ func (cashStrategy) loadUncheckedMeta(c *compiler) {
 	c.b.Op(vm.MOV, vm.R(vm.EDX), vm.I(int32(c.univInfo)))
 }
 
-func (cashStrategy) pushPtrMeta(c *compiler) {
+func (cashStrategy) pushPtr(c *compiler) {
 	c.b.Op1(vm.PUSH, vm.R(vm.EDX))
+	c.b.Op1(vm.PUSH, vm.R(vm.EAX))
 }
 
-func (cashStrategy) popPtrMeta(c *compiler) {
+func (cashStrategy) popPtr(c *compiler) {
+	c.b.Op1(vm.POP, vm.R(vm.EAX))
 	c.b.Op1(vm.POP, vm.R(vm.EDX))
 }
 
@@ -341,3 +348,5 @@ func (cashStrategy) computedMetaCheck(c *compiler, addr vm.Reg) {
 	c.b.Op1(vm.POP, vm.R(vm.ESI)) // shadow
 	c.emitSoftCheck(addr, checkMeta{kind: metaShad, shadowOp: vm.R(vm.ESI)})
 }
+
+func (cashStrategy) chopDirectArray() bool { return false }

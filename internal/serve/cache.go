@@ -11,14 +11,17 @@ import (
 )
 
 // buildKey derives the content address of an artifact: a SHA-256 over
-// the source text, the compiler mode, and every semantic build option.
+// the source text, the strategy name, and every semantic build option.
+// The strategy is hashed by name, so a Mode constant and its string
+// spelling (core.ModeCash and "cash") address the same cache entry.
 // Options.EventTrace is deliberately excluded (the caller nils it
 // first): a trace changes what is observed, never what is built, so
 // traced and untraced requests share one compiled artifact.
 func buildKey(source string, mode core.Mode, opts core.Options) string {
 	h := sha256.New()
+	h.Write([]byte(mode))
+	h.Write([]byte{0})
 	var fixed [32]byte
-	binary.LittleEndian.PutUint32(fixed[0:], uint32(mode))
 	binary.LittleEndian.PutUint32(fixed[4:], uint32(opts.SegRegs))
 	if opts.SkipReadChecks {
 		fixed[8] = 1

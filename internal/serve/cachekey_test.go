@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"testing"
+
+	"cash/internal/core"
+)
+
+// TestBuildKeyAliasIdentity: the deprecated Mode constants and their
+// plain string spellings must address the same artifact-cache entry —
+// the key hashes the strategy name, not an enum value.
+func TestBuildKeyAliasIdentity(t *testing.T) {
+	src := "void main() { printi(1); }"
+	cases := []struct{ a, b core.Mode }{
+		{core.ModeCash, core.Mode("cash")},
+		{core.ModeGCC, core.Mode("gcc")},
+		{core.ModeBCC, core.Mode("bcc")},
+		{core.ModeMPX, core.Mode("mpx")},
+	}
+	for _, c := range cases {
+		if got, want := buildKey(src, c.a, core.Options{}), buildKey(src, c.b, core.Options{}); got != want {
+			t.Errorf("buildKey(%v) = %s, buildKey(%q) = %s: aliases must share a cache entry",
+				c.a, got, string(c.b), want)
+		}
+	}
+	// Distinct strategies must not collide.
+	if buildKey(src, core.ModeCash, core.Options{}) == buildKey(src, core.ModeMPX, core.Options{}) {
+		t.Error("cash and mpx share a cache key")
+	}
+}
+
+// TestBuildKeyStrategySeparation: the name is length-delimited in the
+// hash, so a strategy name must never alias into the option block or
+// source of a different request.
+func TestBuildKeyStrategySeparation(t *testing.T) {
+	if buildKey("x", core.Mode("ab"), core.Options{}) == buildKey("x", core.Mode("a"), core.Options{}) {
+		t.Error("different names collide")
+	}
+}

@@ -363,13 +363,24 @@ func (r engineRunner) RunArtifact(art *core.Artifact) (*core.RunResult, error) {
 	return r.e.runNoAdmission(r.ctx, art)
 }
 
-// CompareContext is core.Compare through the Engine: the three modes'
-// builds and runs are served from the caches and pooled machines, under
-// one admission slot.
-func (e *Engine) CompareContext(ctx context.Context, name, source string, opts core.Options) (*core.Comparison, error) {
+// CompareStrategiesContext is core.CompareStrategies through the
+// Engine: every strategy's build and run is served from the caches and
+// pooled machines, under one admission slot.
+func (e *Engine) CompareStrategiesContext(ctx context.Context, name, source string, cfg core.CompareConfig) (*core.Comparison, error) {
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer e.release()
-	return core.CompareUsing(engineRunner{ctx: ctx, e: e}, name, source, opts)
+	return core.CompareStrategiesUsing(engineRunner{ctx: ctx, e: e}, name, source, cfg)
+}
+
+// CompareContext is core.Compare through the Engine: the three classic
+// modes' builds and runs are served from the caches and pooled
+// machines, under one admission slot.
+//
+// Deprecated: Use CompareStrategiesContext, which accepts any
+// registered strategy set. This wrapper keeps working and compares
+// gcc, bcc, cash.
+func (e *Engine) CompareContext(ctx context.Context, name, source string, opts core.Options) (*core.Comparison, error) {
+	return e.CompareStrategiesContext(ctx, name, source, core.CompareConfig{Options: opts})
 }

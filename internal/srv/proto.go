@@ -115,17 +115,18 @@ func (w WireOptions) Options() core.Options {
 	}
 }
 
-// ParseMode maps a wire mode name onto a compiler mode.
+// ParseMode maps a wire strategy name onto a compiler mode. Any
+// registered strategy is accepted; empty defaults to cash.
 func ParseMode(s string) (core.Mode, error) {
-	switch s {
-	case "gcc":
-		return core.ModeGCC, nil
-	case "bcc":
-		return core.ModeBCC, nil
-	case "cash", "":
+	if s == "" {
 		return core.ModeCash, nil
 	}
-	return 0, fmt.Errorf("unknown mode %q (want gcc, bcc or cash)", s)
+	for _, name := range core.StrategyNames() {
+		if s == name {
+			return core.Mode(s), nil
+		}
+	}
+	return "", fmt.Errorf("unknown strategy %q (want one of %v)", s, core.StrategyNames())
 }
 
 // BuildRequest asks for a compilation.

@@ -23,6 +23,14 @@ const (
 	cycleSegLoad  = 4 // MOV to segment register (§3.3)
 	cycleSegStore = 1 // MOV from segment register
 	cycleBound    = 7 // bound instruction on a 1.1 GHz P3 (§2)
+
+	// MPX strategy constants, following the cost structure "Intel MPX
+	// Explained" measured: the compare-style bndcl/bndcu are ordinary
+	// 1-cycle ALU ops, while bndldx/bndstx pay a two-level Bounds
+	// Directory -> Bounds Table walk (two dependent memory accesses plus
+	// address arithmetic), which is where MPX's overhead concentrates.
+	cycleBndCheck = 1
+	cycleBndTable = 10
 )
 
 // CostMalloc is the flat cost of the allocator itself, identical across
@@ -51,6 +59,10 @@ func (in *Instr) baseCost() uint64 {
 		return cycleSegStore
 	case BOUND:
 		return cycleBound
+	case BNDCL, BNDCU:
+		return cycleBndCheck
+	case BNDLDX, BNDSTX:
+		return cycleBndTable
 	case HLT, NOP:
 		return 0
 	case INT, LCALL, HCALL:

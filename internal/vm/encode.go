@@ -98,6 +98,18 @@ func (in Instr) EncodedSize() int {
 		return n
 	case BOUND:
 		return 1 + memBytes(in.Src.Mem)
+	case BNDCL, BNDCU:
+		// Two-byte 0F opcode + ModRM, plus the bound operand (register
+		// forms carry it in ModRM; the immediate form models a bounds
+		// constant materialised inline).
+		return 3 + operandBytes(in.Src)
+	case BNDLDX, BNDSTX:
+		// Two-byte 0F opcode + the slot-addressing memory operand; the
+		// imm selector of BNDSTX is encoding-free (ModRM reg field).
+		if in.Op == BNDLDX {
+			return 2 + memBytes(in.Src.Mem)
+		}
+		return 2 + memBytes(in.Dst.Mem)
 	case MOV:
 		if in.Src.Kind == KindImm && in.Dst.Kind == KindReg {
 			return 5 + prefix // mov reg, imm32 (b8+r)

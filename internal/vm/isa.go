@@ -92,6 +92,14 @@ const (
 	LCALL // call gate entry (lcall $0x7,$0x0 -> cash_modify_ldt)
 	HCALL // host/libc service
 	HLT
+	// MPX-style bounds instructions, for the "mpx" checking strategy: a
+	// lower/upper check pair against register or immediate bounds, and a
+	// shadow bounds-table load/store keyed by the address of the pointer
+	// slot (modelling bndldx/bndstx's two-level Bounds Directory walk).
+	BNDCL  // trap if Dst register < Src (lower bound)
+	BNDCU  // trap if Dst register >= Src (exclusive upper bound)
+	BNDLDX // load bounds for the slot at Src's address into EDX/ECX
+	BNDSTX // store EDX/ECX (Src=$1) or INIT bounds (Src=$0) for Dst's slot
 	numOps
 )
 
@@ -102,6 +110,7 @@ var opNames = [numOps]string{
 	"jmp", "je", "jne", "jl", "jle", "jg", "jge", "jb", "jae", "ja", "jbe",
 	"push", "pop", "call", "ret",
 	"movsr", "movrs", "bound", "trap", "int", "lcall", "hcall", "hlt",
+	"bndcl", "bndcu", "bndldx", "bndstx",
 }
 
 func (o Op) String() string {

@@ -26,6 +26,11 @@ const (
 	// ModeCash is segmentation-hardware bound checking (2-word pointers,
 	// 3-word info structures, per-array segments).
 	ModeCash
+	// ModeMPX is bounds-table checking in the style of Intel MPX: thin
+	// 1-word pointers whose bounds live in a shadow bounds table keyed by
+	// the pointer's storage location, loaded and stored with
+	// BNDLDX/BNDSTX and checked with BNDCL/BNDCU.
+	ModeMPX
 )
 
 func (m Mode) String() string {
@@ -36,6 +41,8 @@ func (m Mode) String() string {
 		return "bcc"
 	case ModeCash:
 		return "cash"
+	case ModeMPX:
+		return "mpx"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -79,6 +86,9 @@ type Stats struct {
 	HWChecks     uint64 // memory refs limit-checked through an array segment
 	SWChecks     uint64 // software bound-check sequences executed
 	BoundInstrs  uint64 // IA-32 bound instructions executed
+	BndChecks    uint64 // MPX bndcl/bndcu check pairs executed
+	BndLoads     uint64 // MPX bndldx bounds-table loads
+	BndStores    uint64 // MPX bndstx bounds-table stores
 	SegRegLoads  uint64 // MOV-to-segment-register count
 	MallocCalls  uint64
 	PageWalks    uint64
@@ -291,8 +301,13 @@ type Machine struct {
 	efence    bool
 	plain     bool            // no paging, no trace: memory fast path applies
 	guards    map[uint32]bool // Electric Fence guard pages
-	halted    bool
-	exitCode  int32
+	// bnd is the MPX shadow bounds table: pointer-slot address ->
+	// (lower, upper). Allocated lazily by the first BNDSTX; a missing
+	// entry reads as the unbounded INIT pair, exactly like MPX's lazily
+	// populated Bounds Tables.
+	bnd      map[uint32][2]uint32
+	halted   bool
+	exitCode int32
 
 	// Tier-2 state (see superblock.go): the shared superblock table and
 	// this machine's entry/deopt/retired tallies.

@@ -575,6 +575,104 @@ func compileInstr(in *Instr) execFn {
 			return nil
 		}
 
+	case BNDCL:
+		// Lower-bound check of an MPX pair. Like BOUND, the closure does
+		// its own statistics so tier-2 superblock execution counts
+		// identically; the pair is counted once, here.
+		getD := compileLoad(in.Dst, 4)
+		getS := compileLoad(in.Src, 4)
+		return func(m *Machine) error {
+			m.stats.SWChecks++
+			m.stats.BndChecks++
+			addr, err := getD(m)
+			if err != nil {
+				return err
+			}
+			lower, err := getS(m)
+			if err != nil {
+				return err
+			}
+			if addr < lower {
+				return m.fault(FaultSoftwareCheck,
+					fmt.Errorf("bndcl: %#x below lower bound %#x", addr, lower))
+			}
+			m.ip++
+			return nil
+		}
+
+	case BNDCU:
+		// Upper-bound check. The repo's bounds are half-open, so the trap
+		// condition is addr >= upper (real bndcu compares against an
+		// inclusive upper; the convention difference is absorbed at
+		// lowering).
+		getD := compileLoad(in.Dst, 4)
+		getS := compileLoad(in.Src, 4)
+		return func(m *Machine) error {
+			addr, err := getD(m)
+			if err != nil {
+				return err
+			}
+			upper, err := getS(m)
+			if err != nil {
+				return err
+			}
+			if addr >= upper {
+				return m.fault(FaultSoftwareCheck,
+					fmt.Errorf("bndcu: %#x at or above upper bound %#x", addr, upper))
+			}
+			m.ip++
+			return nil
+		}
+
+	case BNDLDX:
+		// Bounds-table load: the effective address of the memory operand
+		// keys the shadow table; the entry's lower/upper land in EDX/ECX.
+		// A missing entry is the unbounded INIT pair (0, 0xffffffff),
+		// matching MPX's lazily populated Bounds Tables. The table walk
+		// cost is charged via baseCost.
+		if in.Src.Kind != KindMem {
+			return func(m *Machine) error {
+				return m.fault(FaultInvalid, fmt.Errorf("bndldx needs memory source"))
+			}
+		}
+		mo := compileMem(in.Src.Mem)
+		return func(m *Machine) error {
+			m.stats.BndLoads++
+			lo, hi := uint32(0), uint32(0xffffffff)
+			if e, ok := m.bnd[mo.ea(m)]; ok {
+				lo, hi = e[0], e[1]
+			}
+			m.regs[EDX] = lo
+			m.regs[ECX] = hi
+			m.ip++
+			return nil
+		}
+
+	case BNDSTX:
+		// Bounds-table store for the slot addressed by Dst: Src=$1 records
+		// the pair held in EDX/ECX, Src=$0 resets the slot to INIT
+		// (unbounded) without touching registers.
+		if in.Dst.Kind != KindMem {
+			return func(m *Machine) error {
+				return m.fault(FaultInvalid, fmt.Errorf("bndstx needs memory destination"))
+			}
+		}
+		mo := compileMem(in.Dst.Mem)
+		init := in.Src.Kind == KindImm && in.Src.Imm == 0
+		return func(m *Machine) error {
+			m.stats.BndStores++
+			if m.bnd == nil {
+				m.bnd = make(map[uint32][2]uint32)
+			}
+			if init {
+				delete(m.bnd, mo.ea(m))
+			} else {
+				m.bnd[mo.ea(m)] = [2]uint32{m.regs[EDX], m.regs[ECX]}
+			}
+			m.ip++
+			return nil
+		}
+
 	case TRAP:
 		sym := in.Sym
 		return func(m *Machine) error {

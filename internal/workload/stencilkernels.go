@@ -1,0 +1,133 @@
+package workload
+
+import "fmt"
+
+// Stencil kernels: three synthetic programs whose inner loops read
+// several neighbouring elements of the same array in straight line —
+// a[i-1], a[i], a[i+1] and friends. They exercise the shapes the "chop"
+// consolidation pass must recognise: groups of checks on one array
+// whose indices differ only by a constant, with no call, branch or
+// index store between them. Like the range kernels they are not part of
+// the paper's tables and stay out of All(); benchmarks and tests pull
+// them in through StencilKernels().
+
+// StencilKernels returns the three stencil kernels at their default
+// sizes.
+func StencilKernels() []Workload {
+	return []Workload{
+		Smooth(256, 8),
+		Jacobi2D(24, 16),
+		Wave1D(200, 12),
+	}
+}
+
+// Smooth applies a 3-point moving average repeatedly: the canonical
+// 1-D stencil with three same-array reads per iteration, one constant
+// delta apart.
+func Smooth(n, iters int) Workload {
+	src := fmt.Sprintf(`
+// Repeated 3-point moving average over a 1-D signal.
+int a[%[1]d];
+int b[%[1]d];
+void main() {
+	int n = %[1]d;
+	for (int i = 0; i < n; i++) a[i] = (i * 17) %% 101;
+	for (int t = 0; t < %[2]d; t++) {
+		for (int i = 1; i < n - 1; i++) {
+			b[i] = (a[i - 1] + a[i] + a[i + 1]) / 3;
+		}
+		for (int i = 1; i < n - 1; i++) {
+			a[i] = b[i];
+		}
+	}
+	int s = 0;
+	for (int i = 0; i < n; i++) s += a[i] %% 9973;
+	printi(s);
+}
+`, n, iters)
+	return Workload{
+		Name:        fmt.Sprintf("smooth%d", n),
+		Paper:       "(stencil kernel)",
+		Description: fmt.Sprintf("%d-point signal, %d rounds of 3-tap smoothing", n, iters),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// Jacobi2D sweeps a 5-point Jacobi relaxation over a flattened n x n
+// grid: five same-array reads per inner iteration whose flattened
+// indices differ by -n, -1, 0, +1 and +n — a constant-delta group once
+// the row base i*n+j is shared.
+func Jacobi2D(n, iters int) Workload {
+	src := fmt.Sprintf(`
+// 5-point Jacobi relaxation on a flattened n x n grid.
+int u[%[1]d]; // n*n
+int v[%[1]d];
+void main() {
+	int n = %[2]d;
+	for (int i = 0; i < n * n; i++) u[i] = (i * 29) %% 97;
+	for (int t = 0; t < %[3]d; t++) {
+		for (int i = 1; i < n - 1; i++) {
+			for (int j = 1; j < n - 1; j++) {
+				int c = i * n + j;
+				v[c] = (u[c - n] + u[c - 1] + u[c] + u[c + 1] + u[c + n]) / 5;
+			}
+		}
+		for (int i = 1; i < n - 1; i++) {
+			for (int j = 1; j < n - 1; j++) {
+				u[i * n + j] = v[i * n + j];
+			}
+		}
+	}
+	int s = 0;
+	for (int i = 0; i < n * n; i++) s += u[i] %% 9973;
+	printi(s);
+}
+`, n*n, n, iters)
+	return Workload{
+		Name:        fmt.Sprintf("jacobi%d", n),
+		Paper:       "(stencil kernel)",
+		Description: fmt.Sprintf("%dx%d grid, %d Jacobi sweeps", n, n, iters),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}
+
+// Wave1D steps the 1-D wave equation with a leapfrog scheme: each
+// update reads the previous field at three neighbouring points and the
+// field before that at the centre — two consolidation groups per
+// iteration over two arrays.
+func Wave1D(n, steps int) Workload {
+	src := fmt.Sprintf(`
+// Leapfrog 1-D wave equation in fixed point.
+int cur[%[1]d];
+int prev[%[1]d];
+int next[%[1]d];
+void main() {
+	int n = %[1]d;
+	for (int i = 0; i < n; i++) {
+		cur[i] = (i * 7) %% 64;
+		prev[i] = cur[i];
+	}
+	for (int t = 0; t < %[2]d; t++) {
+		for (int i = 1; i < n - 1; i++) {
+			next[i] = cur[i - 1] + cur[i + 1] - prev[i] + (cur[i] / 4);
+		}
+		for (int i = 1; i < n - 1; i++) {
+			prev[i] = cur[i];
+			cur[i] = next[i] %% 9973;
+		}
+	}
+	int s = 0;
+	for (int i = 0; i < n; i++) s += cur[i];
+	printi(s);
+}
+`, n, steps)
+	return Workload{
+		Name:        fmt.Sprintf("wave%d", n),
+		Paper:       "(stencil kernel)",
+		Description: fmt.Sprintf("%d-point leapfrog wave equation, %d steps", n, steps),
+		Category:    CategoryKernel,
+		Source:      src,
+	}
+}

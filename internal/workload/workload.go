@@ -83,9 +83,10 @@ func NetworkApps() []Workload {
 }
 
 // ByName finds a workload across all categories, including the range
-// kernels (which are not part of All()).
+// and stencil kernels (which are not part of All()).
 func ByName(name string) (Workload, bool) {
-	for _, w := range append(All(), RangeKernels()...) {
+	extras := append(RangeKernels(), StencilKernels()...)
+	for _, w := range append(All(), extras...) {
 		if w.Name == name {
 			return w, true
 		}
