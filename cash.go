@@ -238,9 +238,22 @@ type Engine struct {
 	eng *serve.Engine
 }
 
-// NewEngine builds a serving Engine from cfg.
+// NewEngine builds a serving Engine from cfg. An unusable StoreDir is
+// degraded silently to a memory-only cache; use OpenEngine to observe
+// the failure instead.
 func NewEngine(cfg EngineConfig) *Engine {
 	return &Engine{eng: serve.NewEngine(cfg)}
+}
+
+// OpenEngine builds a serving Engine from cfg, reporting an unusable
+// EngineConfig.StoreDir as an error instead of silently dropping the
+// persistent layer.
+func OpenEngine(cfg EngineConfig) (*Engine, error) {
+	eng, err := serve.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng}, nil
 }
 
 // runtime returns the underlying serving engine, falling back to the

@@ -18,6 +18,11 @@
 //	             must be byte-identical or the run fails
 //	-no-cache    disable the artifact/run cache
 //	-no-pool     disable machine pooling
+//	-store DIR   persist compiled artifacts and deterministic run
+//	             outcomes under DIR; a later process pointed at the same
+//	             DIR warm-starts from them (tables stay byte-identical)
+//	-snapshots   clone pre-warmed machines from copy-on-write snapshots
+//	             instead of building each machine from scratch
 //
 // The resilience experiment (fault injection against the network
 // servers) takes two extra knobs; the same seed and rate always
@@ -136,6 +141,9 @@ func run() (err error) {
 		tier2       = flag.Bool("tier2", false, "execute every experiment through the tier-2 superblock engine (tables stay byte-identical)")
 		strategy    = flag.String("strategy", "", "comma-separated checking strategies restricting -table strategy-matrix (default: every registered strategy)")
 		modeFlag    = flag.String("mode", "", "deprecated alias for -strategy")
+		storeDir    = flag.String("store", "", "root a persistent on-disk artifact/run store at this directory (survives the process; a second run warm-starts from it)")
+		storeBudget = flag.Int64("store-budget", 0, "on-disk store byte budget (0 = 1 GiB default, negative = unlimited); only with -store")
+		snapshots   = flag.Bool("snapshots", false, "clone pre-warmed machines from copy-on-write snapshots instead of building each from scratch")
 	)
 	flag.Parse()
 
@@ -170,14 +178,22 @@ func run() (err error) {
 	// table's private one).
 	cash.SetParallelism(*parallel)
 
-	cfg := cash.EngineConfig{Parallelism: *parallel}
+	cfg := cash.EngineConfig{
+		Parallelism: *parallel,
+		StoreDir:    *storeDir,
+		StoreBytes:  *storeBudget,
+		Snapshots:   *snapshots,
+	}
 	if *noCache {
 		cfg.CacheBytes = -1
 	}
 	if *noPool {
 		cfg.PoolSize = -1
 	}
-	eng := cash.NewEngine(cfg)
+	eng, err := cash.OpenEngine(cfg)
+	if err != nil {
+		return err
+	}
 	ctx := context.Background()
 
 	if *cpuProfile != "" {

@@ -18,6 +18,18 @@
 //	-drain D          graceful-drain budget on SIGINT/SIGTERM; when it
 //	                  expires, in-flight work is hard-canceled (default 30s)
 //
+// Cache and persistence knobs:
+//
+//	-cache-budget N   in-memory artifact/run cache byte budget
+//	                  (0 = 64 MiB default, negative = cache disabled)
+//	-store DIR        persist compiled artifacts and deterministic run
+//	                  outcomes under DIR; a restarted server pointed at
+//	                  the same DIR warm-starts from them
+//	-store-budget N   on-disk store byte budget (0 = 1 GiB default,
+//	                  negative = unlimited)
+//	-snapshots        serve runs on machines cloned from copy-on-write
+//	                  snapshots instead of building each from scratch
+//
 // Chaos (wire-fault injection, for resilience testing):
 //
 //	-chaos-rate P     per-event injection probability (default 0 = off)
@@ -55,10 +67,24 @@ func main() {
 		maxInFlight  = flag.Int("max-in-flight", 0, "engine admission bound (0 = derived)")
 		chaosRate    = flag.Float64("chaos-rate", 0, "wire-fault injection probability (0 = off)")
 		chaosSeed    = flag.Uint64("chaos-seed", chaos.DefaultSeed, "wire-fault schedule seed")
+		cacheBudget  = flag.Int64("cache-budget", 0, "in-memory artifact/run cache byte budget (0 = 64 MiB default, negative = disabled)")
+		storeDir     = flag.String("store", "", "root a persistent on-disk artifact/run store at this directory; a restarted server warm-starts from it")
+		storeBudget  = flag.Int64("store-budget", 0, "on-disk store byte budget (0 = 1 GiB default, negative = unlimited); only with -store")
+		snapshots    = flag.Bool("snapshots", false, "serve runs on machines cloned from copy-on-write snapshots")
 	)
 	flag.Parse()
 
-	eng := serve.NewEngine(serve.EngineConfig{MaxInFlight: *maxInFlight})
+	eng, err := serve.Open(serve.EngineConfig{
+		MaxInFlight: *maxInFlight,
+		CacheBytes:  *cacheBudget,
+		StoreDir:    *storeDir,
+		StoreBytes:  *storeBudget,
+		Snapshots:   *snapshots,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cashserve: %v\n", err)
+		os.Exit(1)
+	}
 	cfg := srv.Config{
 		Engine:       eng,
 		Workers:      *workers,

@@ -285,7 +285,14 @@ func (a *Artifact) WithEventTrace(tr *obs.Trace) *Artifact {
 func (a *Artifact) StaticStats() map[string]uint64 { return a.Program.Stats }
 
 // DumpIR renders the optimized IR module the program was emitted from.
-func (a *Artifact) DumpIR() string { return a.ir.Dump() }
+// Artifacts decoded from the disk store carry no IR (only the compiled
+// Program is persisted) and render as the empty string.
+func (a *Artifact) DumpIR() string {
+	if a.ir == nil {
+		return ""
+	}
+	return a.ir.Dump()
+}
 
 // DumpSuperblocks renders the tier-2 superblocks compiled from the
 // program's region hints (compiling them if no machine has yet).

@@ -1,0 +1,63 @@
+package ldt
+
+import "cash/internal/x86seg"
+
+// ManagerImage is a frozen copy of a Manager's user-space state — the
+// free list, the recently-freed cache, the gate flag, and the activity
+// counters. Captured once and restored into any manager (typically a
+// machine clone's), reproducing the captured allocator exactly.
+type ManagerImage struct {
+	freeList   []int
+	cache      []cacheEntry
+	gate       bool
+	live       int
+	cycles     uint64
+	stats      Stats
+	gateCycles uint64
+	ldtCycles  uint64
+}
+
+// Capture freezes the manager's state. It returns nil when the manager
+// holds state a restored copy could not share faithfully: reservations
+// (owned by an external consumer), audit bookkeeping (enabling it
+// mid-life is unsupported), or an attached trace (traces observe one
+// machine's life, not a lineage of clones).
+func (m *Manager) Capture() *ManagerImage {
+	if len(m.reserved) > 0 || m.audit || m.tr != nil {
+		return nil
+	}
+	return &ManagerImage{
+		freeList:   append([]int(nil), m.freeList...),
+		cache:      append([]cacheEntry(nil), m.cache...),
+		gate:       m.gate,
+		live:       m.live,
+		cycles:     m.cycles,
+		stats:      m.stats,
+		gateCycles: m.gateCycles,
+		ldtCycles:  m.ldtCycles,
+	}
+}
+
+// RestoreInto returns m to exactly the captured state over table (the
+// kernel LDT the restored manager controls — the caller restores the
+// table's contents separately, via the MMU image). Backing arrays are
+// reused where possible. The published-metrics baselines are set to the
+// image's counters, so a later PublishMetrics pushes only activity that
+// happened after the restore — the capture source already published its
+// own.
+func (img *ManagerImage) RestoreInto(m *Manager, table *x86seg.DescriptorTable) {
+	m.ldt = table
+	m.freeList = append(m.freeList[:0], img.freeList...)
+	m.cache = append(m.cache[:0], img.cache...)
+	m.reserved = nil
+	m.gate = img.gate
+	m.live = img.live
+	m.cycles = img.cycles
+	m.stats = img.stats
+	m.gateCycles, m.ldtCycles = img.gateCycles, img.ldtCycles
+	m.pubStats = img.stats
+	m.pubGateCycles, m.pubLDTCycles = img.gateCycles, img.ldtCycles
+	m.tr = nil
+	m.audit = false
+	m.liveSet = nil
+}

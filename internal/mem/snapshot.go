@@ -1,0 +1,72 @@
+package mem
+
+// Image is a frozen copy of a Memory's contents, captured once and
+// then shared — read-only — by any number of restored memories. The
+// arena spans are copied up to their dirty watermarks; sparse pages
+// are copied into a frozen page map that restored memories share
+// copy-on-write: a read serves the frozen page directly, the first
+// write to a page copies it into the restoring memory's private map.
+type Image struct {
+	geo   Geometry
+	lo    []byte // frozen copy of lo[:loDirty]
+	hi    []byte // frozen copy of hi[hiDirty:]
+	hiOff uint32 // the captured hiDirty watermark
+	pages map[uint32]*[PageSize]byte
+}
+
+// Capture freezes the memory's current contents. Sparse pages are
+// deep-copied, so the image is immune to later writes through m; pages
+// m itself was reading copy-on-write from a previous image are shared
+// onward (they are already frozen).
+func (m *Memory) Capture() *Image {
+	img := &Image{geo: m.Geometry(), hiOff: m.hiDirty}
+	img.lo = append([]byte(nil), m.lo[:m.loDirty]...)
+	img.hi = append([]byte(nil), m.hi[m.hiDirty:]...)
+	if len(m.pages) > 0 || len(m.frozen) > 0 {
+		img.pages = make(map[uint32]*[PageSize]byte, len(m.pages)+len(m.frozen))
+		for pn, p := range m.frozen {
+			img.pages[pn] = p
+		}
+		for pn, p := range m.pages {
+			cp := new([PageSize]byte)
+			*cp = *p
+			img.pages[pn] = cp
+		}
+	}
+	return img
+}
+
+// Geometry returns the arena layout the image was captured from; only
+// a Memory with equal Geometry can restore it.
+func (img *Image) Geometry() Geometry { return img.geo }
+
+// RestoreInto returns m to exactly the captured state, in place and
+// without requiring a prior Reset: arena bytes outside the image's
+// dirty spans are zeroed (bounded by m's own watermarks), private
+// sparse pages are dropped, and the image's frozen pages are installed
+// copy-on-write. Reports false — leaving m untouched — on a geometry
+// mismatch.
+func (img *Image) RestoreInto(m *Memory) bool {
+	if m.Geometry() != img.geo {
+		return false
+	}
+	n := uint32(len(img.lo))
+	copy(m.lo[:n], img.lo)
+	if m.loDirty > n {
+		clear(m.lo[n:m.loDirty])
+	}
+	m.loDirty = n
+	if m.hiDirty < img.hiOff {
+		clear(m.hi[m.hiDirty:img.hiOff])
+	}
+	copy(m.hi[img.hiOff:], img.hi)
+	m.hiDirty = img.hiOff
+	clear(m.pages)
+	m.frozen = img.pages
+	m.cowPages = 0
+	return true
+}
+
+// CowPages reports how many frozen pages this memory has privatised by
+// writing to them since the last restore.
+func (m *Memory) CowPages() uint64 { return m.cowPages }

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -17,6 +16,10 @@ import (
 // Options.EventTrace is deliberately excluded (the caller nils it
 // first): a trace changes what is observed, never what is built, so
 // traced and untraced requests share one compiled artifact.
+//
+// The key addresses the same artifact in every layer of the store —
+// and, through the disk layer, across processes: a restarted server
+// computes the same key and finds the previous process's artifact.
 func buildKey(source string, mode core.Mode, opts core.Options) string {
 	h := sha256.New()
 	h.Write([]byte(mode))
@@ -56,9 +59,9 @@ func buildKey(source string, mode core.Mode, opts core.Options) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// entry is one cached value: an artifact ("a:"-prefixed key) or a run
-// result ("r:"-prefixed key). Both kinds share the single LRU list and
-// byte budget.
+// entry is one memory-layer cached value: an artifact ("a:"-prefixed
+// key) or a run result ("r:"-prefixed key). Both kinds share the single
+// LRU list and byte budget.
 type entry struct {
 	key  string
 	size int64
@@ -77,41 +80,71 @@ type flight struct {
 	err  error
 }
 
-// cache is the Engine's content-addressed store: artifacts and run
-// results in one size-bounded LRU, plus the singleflight table.
+// cache front-ends the engine's layered Store with the pieces that are
+// engine policy rather than storage: the singleflight table that
+// coalesces concurrent identical builds, and the artifact→key table
+// that makes runs of canonical cached artifacts memoisable.
 type cache struct {
-	mu      sync.Mutex
-	budget  int64
-	bytes   int64
-	lru     *list.List // of *entry; front = most recently used
-	entries map[string]*list.Element
+	store Store
+
+	mu sync.Mutex
 	// artKeys maps canonical cached artifacts back to their build key,
 	// enabling the run-result cache. Trace-bearing clones are absent by
-	// construction, so their runs are never memoised.
+	// construction, so their runs are never memoised. Artifacts promoted
+	// from the disk layer register here exactly like compiled ones.
 	artKeys map[*core.Artifact]string
 	flights map[string]*flight
 }
 
+// newCache builds the memory-only cache (no disk layer).
 func newCache(budget int64) *cache {
-	return &cache{
-		budget:  budget,
-		lru:     list.New(),
-		entries: make(map[string]*list.Element),
+	c := &cache{
 		artKeys: make(map[*core.Artifact]string),
 		flights: make(map[string]*flight),
 	}
+	c.store = newMemStore(budget, c.dropEntry)
+	return c
 }
 
-// getArtifact returns the cached artifact for a build key.
-func (c *cache) getArtifact(key string) (*core.Artifact, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries["a:"+key]
-	if !ok {
-		return nil, false
+// newLayeredCache stacks the memory layer over a disk layer: reads
+// fall through to disk on a memory miss (promoting hits), writes go
+// through both, so compiled artifacts and deterministic run outcomes
+// survive the process.
+func newLayeredCache(budget int64, disk Store) *cache {
+	c := &cache{
+		artKeys: make(map[*core.Artifact]string),
+		flights: make(map[string]*flight),
 	}
-	c.lru.MoveToFront(el)
-	return el.Value.(*entry).art, true
+	mem := newMemStore(budget, c.dropEntry)
+	c.store = newLayered(mem, disk, c.registerArtifact)
+	return c
+}
+
+// dropEntry is the memory layer's eviction hook: an artifact leaving
+// memory loses its run-memoisation registration (holders of the old
+// pointer run for real; the next build-key lookup re-registers a
+// canonical artifact, from disk or a fresh compile).
+func (c *cache) dropEntry(ent *entry) {
+	if ent.art == nil {
+		return
+	}
+	c.mu.Lock()
+	delete(c.artKeys, ent.art)
+	c.mu.Unlock()
+}
+
+// registerArtifact marks art as the canonical artifact for a build key
+// so its runs hit the run cache.
+func (c *cache) registerArtifact(key string, art *core.Artifact) {
+	c.mu.Lock()
+	c.artKeys[art] = key
+	c.mu.Unlock()
+}
+
+// getArtifact returns the cached artifact for a build key, from any
+// layer.
+func (c *cache) getArtifact(key string) (*core.Artifact, bool) {
+	return c.store.GetArtifact(key)
 }
 
 // startFlight joins or starts the singleflight for key. The second
@@ -128,17 +161,22 @@ func (c *cache) startFlight(key string) (*flight, bool) {
 	return f, true
 }
 
-// finishFlight records the leader's build outcome, inserts a successful
-// artifact into the cache, and releases every waiter.
+// finishFlight records the leader's build outcome, stores a successful
+// artifact (through every layer — a failed build writes nothing, to
+// memory or disk), and releases every waiter.
 func (c *cache) finishFlight(key string, f *flight, art *core.Artifact, err error) {
 	f.art, f.err = art, err
 	c.mu.Lock()
 	delete(c.flights, key)
 	if err == nil {
-		c.insert("a:"+key, &entry{art: art, size: artifactSize(art)})
 		c.artKeys[art] = key
 	}
 	c.mu.Unlock()
+	if err == nil {
+		// Outside c.mu: the disk layer does real I/O and the memory
+		// layer's eviction hook takes c.mu itself.
+		c.store.PutArtifact(key, art)
+	}
 	close(f.done)
 }
 
@@ -153,51 +191,20 @@ func (c *cache) runKey(art *core.Artifact) (string, bool) {
 }
 
 // getRun returns the memoised run outcome for a run key. The result is
-// a fresh deep copy per call, so callers may mutate what they receive.
+// a private copy per call, so callers may mutate what they receive.
 func (c *cache) getRun(key string) (*core.RunResult, error, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries["r:"+key]
-	if !ok {
-		return nil, nil, false
-	}
-	c.lru.MoveToFront(el)
-	ent := el.Value.(*entry)
-	return cloneRunResult(ent.res), ent.runErr, true
+	return c.store.GetRun(key)
 }
 
-// putRun memoises a run outcome (result, error, or both). The stored
-// result is a deep copy, insulating the cache from caller mutation.
+// putRun memoises a run outcome (result, error, or both).
 func (c *cache) putRun(key string, res *core.RunResult, runErr error) {
-	ent := &entry{res: cloneRunResult(res), runErr: runErr, size: runResultSize(res)}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.entries["r:"+key]; ok {
-		return // a concurrent identical run got there first
-	}
-	c.insert("r:"+key, ent)
+	c.store.PutRun(key, res, runErr)
 }
 
-// insert adds an entry under c.mu and evicts from the LRU tail until
-// the byte budget holds. The newest entry always stays, even when it
-// alone exceeds the budget — an over-budget singleton is more useful
-// than an empty cache that recompiles forever.
-func (c *cache) insert(fullKey string, ent *entry) {
-	ent.key = fullKey
-	c.entries[fullKey] = c.lru.PushFront(ent)
-	c.bytes += ent.size
-	for c.bytes > c.budget && c.lru.Len() > 1 {
-		el := c.lru.Back()
-		victim := el.Value.(*entry)
-		c.lru.Remove(el)
-		delete(c.entries, victim.key)
-		if victim.art != nil {
-			delete(c.artKeys, victim.art)
-		}
-		c.bytes -= victim.size
-		mCacheEvictions.Inc()
-	}
-	gCacheBytes.Set(c.bytes)
+// close releases the cache's store layers (the disk layer, when
+// present; the memory layer is a no-op).
+func (c *cache) close() error {
+	return c.store.Close()
 }
 
 // artifactSize estimates an artifact's retained bytes for the cache

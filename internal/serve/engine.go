@@ -21,6 +21,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 
 	"cash/internal/core"
 	"cash/internal/obs"
@@ -62,6 +63,10 @@ const DefaultCacheBytes = 64 << 20
 // EngineConfig.PoolSize is zero.
 const DefaultPoolSize = 8
 
+// DefaultStoreBytes is the on-disk store budget when
+// EngineConfig.StoreBytes is zero and a StoreDir is configured.
+const DefaultStoreBytes = 1 << 30
+
 // EngineConfig tunes an Engine. The zero value is a fully enabled
 // engine with default sizing that inherits the process-wide parallelism
 // and default event trace, so NewEngine(EngineConfig{}) behaves like the
@@ -85,6 +90,24 @@ type EngineConfig struct {
 	// (netsim serving decisions). Nil inherits the process default trace
 	// (obs.DefaultTrace), again dynamically.
 	EventTrace *obs.Trace
+	// StoreDir, when non-empty, roots a content-addressed on-disk store
+	// layered under the in-memory cache: compiled artifacts and
+	// deterministic run outcomes are written through to disk and survive
+	// the process, so a restarted engine warm-starts from its
+	// predecessor's work. Requires caching (CacheBytes >= 0); ignored
+	// when caching is disabled. Open reports an unusable directory as an
+	// error; NewEngine degrades to a memory-only engine.
+	StoreDir string
+	// StoreBytes bounds the on-disk store. 0 means DefaultStoreBytes;
+	// negative means unlimited.
+	StoreBytes int64
+	// Snapshots enables copy-on-write machine snapshots: the first
+	// machine built for an artifact is snapshotted after construction
+	// and later machines are cloned from the snapshot with lazy page
+	// copying instead of re-zeroing arenas and replaying setup. Clones
+	// are pinned byte-identical to fresh machines (equivalence tests at
+	// the vm and serve layers). Off by default.
+	Snapshots bool
 }
 
 // Engine owns all cross-request serving state. Engines are safe for
@@ -94,17 +117,50 @@ type Engine struct {
 	cache *cache
 	pool  *pool
 	adm   admission
+	// snaps memoises one machine snapshot per compiled program (lazily,
+	// on first NewMachine with Snapshots enabled). Keyed by the Program
+	// pointer so canonical artifacts and their trace-bearing clones —
+	// which share the Program — share the snapshot.
+	snaps sync.Map // *vm.Program -> *snapEntry
 }
 
-// NewEngine returns an Engine for the given configuration.
+// NewEngine returns an Engine for the given configuration. A StoreDir
+// that cannot be opened is dropped: the engine runs memory-only rather
+// than failing (use Open to observe the error).
 func NewEngine(cfg EngineConfig) *Engine {
+	e, err := Open(cfg)
+	if err != nil {
+		cfg.StoreDir = ""
+		e, _ = Open(cfg)
+	}
+	return e
+}
+
+// Open returns an Engine for the given configuration, reporting an
+// unusable StoreDir as an error instead of degrading silently.
+func Open(cfg EngineConfig) (*Engine, error) {
 	e := &Engine{cfg: cfg}
 	if cfg.CacheBytes >= 0 {
 		budget := cfg.CacheBytes
 		if budget == 0 {
 			budget = DefaultCacheBytes
 		}
-		e.cache = newCache(budget)
+		if cfg.StoreDir != "" {
+			storeBudget := cfg.StoreBytes
+			if storeBudget == 0 {
+				storeBudget = DefaultStoreBytes
+			}
+			if storeBudget < 0 {
+				storeBudget = 0 // unlimited
+			}
+			disk, err := newDiskStore(cfg.StoreDir, storeBudget)
+			if err != nil {
+				return nil, err
+			}
+			e.cache = newLayeredCache(budget, disk)
+		} else {
+			e.cache = newCache(budget)
+		}
 	}
 	if cfg.PoolSize >= 0 {
 		size := cfg.PoolSize
@@ -113,7 +169,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		}
 		e.pool = newPool(size)
 	}
-	return e
+	return e, nil
 }
 
 // Close shuts the Engine down: new work — builds, runs, comparisons —
@@ -126,6 +182,9 @@ func NewEngine(cfg EngineConfig) *Engine {
 // the last reference to the Engine drops.
 func (e *Engine) Close() error {
 	e.adm.closeAndDrain()
+	if e.cache != nil {
+		return e.cache.close()
+	}
 	return nil
 }
 
@@ -277,7 +336,7 @@ func (e *Engine) NewMachine(art *core.Artifact, extra ...vm.Option) (*vm.Machine
 			mPoolFresh.Inc()
 		}
 	}
-	m, err := art.NewMachine(append(opts, extra...)...)
+	m, err := e.newMachine(art, opts, extra)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -295,6 +354,62 @@ func (e *Engine) NewMachine(art *core.Artifact, extra ...vm.Option) (*vm.Machine
 		}
 	}
 	return m, release, nil
+}
+
+// newMachine constructs the machine for an artifact — from the
+// artifact's warmed snapshot when snapshots are enabled and the
+// artifact supports them, else the ordinary fresh-build path. Both
+// paths accept pooled parts and produce machines pinned byte-identical
+// to each other.
+func (e *Engine) newMachine(art *core.Artifact, opts, extra []vm.Option) (*vm.Machine, error) {
+	if e.cfg.Snapshots {
+		if snap := e.snapshotFor(art); snap != nil {
+			sopts := make([]vm.Option, 0, len(opts)+len(extra)+1)
+			if tr := art.Options().EventTrace; tr != nil {
+				// The snapshot source is trace-free (traces observe a
+				// machine's life from construction, so a snapshot cannot
+				// carry one); a trace-bearing clone attaches its trace here.
+				sopts = append(sopts, vm.WithEventTrace(tr))
+			}
+			sopts = append(sopts, opts...)
+			sopts = append(sopts, extra...)
+			if m, err := snap.NewMachine(sopts...); err == nil {
+				return m, nil
+			}
+			// An option the snapshot cannot honor (paging, chaos, …):
+			// fall through to the fresh-build path. Option validation
+			// happens before any pooled part is touched, so the parts in
+			// opts are still clean.
+		}
+	}
+	return art.NewMachine(append(opts[:len(opts):len(opts)], extra...)...)
+}
+
+// snapEntry memoises one program's snapshot; the once makes the first
+// requester build it while concurrent requesters wait.
+type snapEntry struct {
+	once sync.Once
+	snap *vm.Snapshot
+}
+
+// snapshotFor returns the warmed snapshot for the artifact's program,
+// building it on first use. A nil return means the artifact cannot be
+// snapshotted (paging, electric fence, …) — that verdict is memoised
+// too, so the probe costs one machine build ever.
+func (e *Engine) snapshotFor(art *core.Artifact) *vm.Snapshot {
+	v, _ := e.snaps.LoadOrStore(art.Program, &snapEntry{})
+	ent := v.(*snapEntry)
+	ent.once.Do(func() {
+		// Snapshot a trace-free machine even when the triggering request
+		// carries a trace: the snapshot is shared by every future
+		// request for this program, traced or not.
+		m, err := art.WithEventTrace(nil).NewMachine()
+		if err != nil {
+			return
+		}
+		ent.snap, _ = m.Snapshot()
+	})
+	return ent.snap
 }
 
 // RunContext executes the artifact once, honoring ctx between simulated

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"errors"
+
+	"cash/internal/core"
+)
+
+// layered composes two Store layers as a read-through/write-through
+// overlay: reads probe the upper (memory) layer first and fall back to
+// the lower (disk) layer, promoting hits upward; writes go through
+// both. Everything above the cache sees one Store — the engine's code
+// paths are unchanged by the presence of a disk layer.
+type layered struct {
+	upper Store
+	lower Store
+
+	// onPromote observes artifacts entering the process from the lower
+	// layer, so the cache can register them for run-result memoisation
+	// exactly like freshly compiled ones.
+	onPromote func(key string, art *core.Artifact)
+}
+
+func newLayered(upper, lower Store, onPromote func(string, *core.Artifact)) *layered {
+	return &layered{upper: upper, lower: lower, onPromote: onPromote}
+}
+
+func (l *layered) GetArtifact(key string) (*core.Artifact, bool) {
+	if art, ok := l.upper.GetArtifact(key); ok {
+		return art, true
+	}
+	art, ok := l.lower.GetArtifact(key)
+	if !ok {
+		return nil, false
+	}
+	l.upper.PutArtifact(key, art)
+	if l.onPromote != nil {
+		l.onPromote(key, art)
+	}
+	return art, true
+}
+
+func (l *layered) PutArtifact(key string, art *core.Artifact) {
+	l.upper.PutArtifact(key, art)
+	l.lower.PutArtifact(key, art)
+}
+
+func (l *layered) GetRun(key string) (*core.RunResult, error, bool) {
+	if res, runErr, ok := l.upper.GetRun(key); ok {
+		return res, runErr, ok
+	}
+	res, runErr, ok := l.lower.GetRun(key)
+	if !ok {
+		return nil, nil, false
+	}
+	// Promote so repeat requests stay off the disk. The memory layer
+	// clones on put, so the decoded copy below stays private to this
+	// caller.
+	l.upper.PutRun(key, res, runErr)
+	return res, runErr, true
+}
+
+func (l *layered) PutRun(key string, res *core.RunResult, runErr error) {
+	l.upper.PutRun(key, res, runErr)
+	l.lower.PutRun(key, res, runErr)
+}
+
+func (l *layered) Bytes() int64 { return l.upper.Bytes() + l.lower.Bytes() }
+
+func (l *layered) Close() error {
+	return errors.Join(l.upper.Close(), l.lower.Close())
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"cash/internal/core"
+)
+
+// Store is one layer of the engine's content-addressed cache. Keys are
+// the bare build-key hashes from buildKey; artifact and run-result
+// namespaces are kept distinct by every implementation (the memory
+// layer prefixes "a:"/"r:" into its shared LRU, the disk layer into its
+// file keys). Implementations are safe for concurrent use.
+//
+// A Store is a cache, not a database: Put may drop the value (budget
+// eviction, unpersistable value, I/O failure) and Get may miss on a key
+// that was put — callers always fall back to rebuilding/rerunning.
+type Store interface {
+	// GetArtifact returns the artifact cached under key, if any.
+	GetArtifact(key string) (*core.Artifact, bool)
+	// PutArtifact caches art under key, replacing any previous value.
+	PutArtifact(key string, art *core.Artifact)
+	// GetRun returns the memoised run outcome for key. The result is
+	// safe for the caller to mutate (a private copy or freshly decoded).
+	GetRun(key string) (*core.RunResult, error, bool)
+	// PutRun memoises a run outcome. First writer wins: a key that is
+	// already present keeps its existing value.
+	PutRun(key string, res *core.RunResult, runErr error)
+	// Bytes returns the layer's accounted size (layered stores sum
+	// their layers).
+	Bytes() int64
+	// Close releases layer resources. The engine calls it after drain.
+	Close() error
+}
+
+// memStore is the in-memory layer: artifacts and run results in one
+// size-bounded LRU, exactly the cache the engine had before the store
+// was layered. It keeps the engine's published metrics: serve.cache.
+// evictions counts budget evictions (never replacements) and
+// serve.cache.bytes tracks this layer only — the numbers are
+// byte-identical to the pre-layering engine when no disk layer is
+// configured.
+type memStore struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	lru     *list.List // of *entry; front = most recently used
+	entries map[string]*list.Element
+
+	// onDrop, when non-nil, observes every entry leaving the layer —
+	// budget eviction or replacement — and runs OUTSIDE mu, so the hook
+	// may take unrelated locks (the cache uses it to unregister evicted
+	// artifacts from its run-key table).
+	onDrop func(*entry)
+}
+
+func newMemStore(budget int64, onDrop func(*entry)) *memStore {
+	return &memStore{
+		budget:  budget,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		onDrop:  onDrop,
+	}
+}
+
+func (s *memStore) GetArtifact(key string) (*core.Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries["a:"+key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*entry).art, true
+}
+
+func (s *memStore) PutArtifact(key string, art *core.Artifact) {
+	s.put("a:"+key, &entry{art: art, size: artifactSize(art)})
+}
+
+func (s *memStore) GetRun(key string) (*core.RunResult, error, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries["r:"+key]
+	if !ok {
+		return nil, nil, false
+	}
+	s.lru.MoveToFront(el)
+	ent := el.Value.(*entry)
+	return cloneRunResult(ent.res), ent.runErr, true
+}
+
+func (s *memStore) PutRun(key string, res *core.RunResult, runErr error) {
+	ent := &entry{res: cloneRunResult(res), runErr: runErr, size: runResultSize(res)}
+	s.mu.Lock()
+	if _, ok := s.entries["r:"+key]; ok {
+		s.mu.Unlock()
+		return // a concurrent identical run got there first
+	}
+	dropped := s.insertLocked("r:"+key, ent)
+	s.mu.Unlock()
+	s.drop(dropped)
+}
+
+// put inserts under the full (prefixed) key, replacing any existing
+// entry, then reports evictions to onDrop outside the lock.
+func (s *memStore) put(fullKey string, ent *entry) {
+	s.mu.Lock()
+	dropped := s.insertLocked(fullKey, ent)
+	s.mu.Unlock()
+	s.drop(dropped)
+}
+
+// insertLocked adds an entry and evicts from the LRU tail until the
+// byte budget holds. The newest entry always stays, even when it alone
+// exceeds the budget — an over-budget singleton is more useful than an
+// empty cache that recompiles forever.
+//
+// Replacement is exact: an existing entry under fullKey is removed
+// first — its bytes come off the account and it is returned for the
+// onDrop hook — so re-inserting a key can never leak budget. Only
+// budget evictions count into serve.cache.evictions; a replacement is
+// an overwrite, not an eviction.
+func (s *memStore) insertLocked(fullKey string, ent *entry) []*entry {
+	var dropped []*entry
+	if el, ok := s.entries[fullKey]; ok {
+		old := el.Value.(*entry)
+		s.lru.Remove(el)
+		delete(s.entries, fullKey)
+		s.bytes -= old.size
+		dropped = append(dropped, old)
+	}
+	ent.key = fullKey
+	s.entries[fullKey] = s.lru.PushFront(ent)
+	s.bytes += ent.size
+	for s.bytes > s.budget && s.lru.Len() > 1 {
+		el := s.lru.Back()
+		victim := el.Value.(*entry)
+		s.lru.Remove(el)
+		delete(s.entries, victim.key)
+		s.bytes -= victim.size
+		mCacheEvictions.Inc()
+		dropped = append(dropped, victim)
+	}
+	gCacheBytes.Set(s.bytes)
+	return dropped
+}
+
+// drop runs the onDrop hook for entries that left the layer.
+func (s *memStore) drop(dropped []*entry) {
+	if s.onDrop == nil {
+		return
+	}
+	for _, ent := range dropped {
+		s.onDrop(ent)
+	}
+}
+
+func (s *memStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+func (s *memStore) Close() error { return nil }

@@ -308,6 +308,7 @@ type Machine struct {
 	bnd      map[uint32][2]uint32
 	halted   bool
 	exitCode int32
+	cloned   bool // built from a Snapshot: publish COW-page deltas
 
 	// Tier-2 state (see superblock.go): the shared superblock table and
 	// this machine's entry/deopt/retired tallies.
@@ -529,6 +530,10 @@ func (m *Machine) Run() (res *Result, err error) {
 	n := len(c.exec)
 	startInstrs, startCycles := m.stats.Instructions, m.cycles
 	startSBEntries, startSBDeopts, startSBRetired := m.sbEntries, m.sbDeopts, m.sbRetired
+	var startCow uint64
+	if m.cloned {
+		startCow = m.memory.CowPages()
+	}
 	defer func() {
 		// Publish this run's observability delta: process-wide simulated
 		// work, the fault classification, and the per-machine paging and
@@ -550,6 +555,9 @@ func (m *Machine) Run() (res *Result, err error) {
 			m.pages.PublishMetrics()
 		}
 		m.ldtMgr.PublishMetrics()
+		if m.cloned {
+			mSnapCowPages.Add(m.memory.CowPages() - startCow)
+		}
 	}()
 	// nextStop folds cancellation polling into the step-limit compare:
 	// without a context it is the step limit itself; with one, the loop

@@ -1,0 +1,149 @@
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"cash/internal/ldt"
+	"cash/internal/mem"
+	"cash/internal/obs"
+	"cash/internal/x86seg"
+)
+
+// Snapshot metrics. Registered lazily, on the first snapshot taken —
+// machines that never snapshot publish nothing new, keeping every
+// pre-existing metrics golden byte-identical.
+var (
+	snapMetricsOnce sync.Once
+	mSnapClones     *obs.Counter
+	mSnapCowPages   *obs.Counter
+)
+
+func snapMetrics() {
+	snapMetricsOnce.Do(func() {
+		mSnapClones = obs.Default().Counter("vm.snapshot.clones")
+		mSnapCowPages = obs.Default().Counter("vm.snapshot.cow_pages")
+	})
+}
+
+// Snapshot is a frozen, warmed machine: the post-construction state of
+// New — flat GDT installed, segment registers loaded, data image
+// written, registers and instruction pointer at the entry point —
+// captured once and cloned per run. A clone restores arena bytes up to
+// the captured watermarks and shares sparse pages copy-on-write, so
+// cloning skips the arena zeroing and setup replay of a fresh build
+// while staying byte-identical to one (pinned by equivalence tests at
+// the vm and serve layers). Snapshots are immutable and safe for
+// concurrent NewMachine calls.
+type Snapshot struct {
+	prog      *Program
+	mode      Mode
+	geo       mem.Geometry
+	regs      [NumRegs]uint32
+	ip        int
+	heap      uint32
+	stepLimit uint64
+	noGate    bool
+	tier2     bool
+
+	mem *mem.Image
+	mmu *x86seg.MMUImage
+	ldt *ldt.ManagerImage
+}
+
+// Snapshot captures the machine's current state for cloning. Only a
+// freshly constructed machine is snapshottable: one that has executed,
+// or was built with construction-shaping options a clone could not
+// reproduce (paging, Electric Fence, traces, chaos injections), is
+// refused with an error — the caller falls back to building machines
+// the ordinary way.
+func (m *Machine) Snapshot() (*Snapshot, error) {
+	switch {
+	case m.halted || m.stats.Instructions > 0 || m.cycles > 0 || len(m.output) > 0:
+		return nil, fmt.Errorf("vm: cannot snapshot a machine that has run")
+	case m.pages != nil:
+		return nil, fmt.Errorf("vm: cannot snapshot a machine with paging enabled")
+	case m.efence:
+		return nil, fmt.Errorf("vm: cannot snapshot an Electric Fence machine")
+	case m.trace != nil || m.etrace != nil:
+		return nil, fmt.Errorf("vm: cannot snapshot a machine with a trace attached")
+	case m.ldtAudit || m.ldtReserve > 0 || m.chaosTransient || m.chaosCorruptDesc ||
+		m.chaosCorruptShadow || m.pokeData != nil || m.unmapSet:
+		return nil, fmt.Errorf("vm: cannot snapshot a machine with fault injection configured")
+	}
+	ldtImg := m.ldtMgr.Capture()
+	if ldtImg == nil {
+		return nil, fmt.Errorf("vm: LDT manager state not snapshottable")
+	}
+	snapMetrics()
+	return &Snapshot{
+		prog:      m.prog,
+		mode:      m.mode,
+		geo:       m.memory.Geometry(),
+		regs:      m.regs,
+		ip:        m.ip,
+		heap:      m.heap,
+		stepLimit: m.stepLimit,
+		noGate:    m.noGate,
+		tier2:     m.tier2,
+		mem:       m.memory.Capture(),
+		mmu:       m.mmu.Capture(),
+		ldt:       ldtImg,
+	}, nil
+}
+
+// Program returns the program the snapshot was taken over.
+func (s *Snapshot) Program() *Program { return s.prog }
+
+// NewMachine clones the snapshot into a runnable machine. The clone
+// starts from the snapshot's baked-in settings (step limit, call-gate
+// suppression, tier-2), which opts may override or extend — WithParts
+// recycles pooled state (restored in place, no separate Reset pass),
+// WithCancel, WithEventTrace and WithStepLimit behave exactly as on
+// New. Options that shape construction itself (paging, Electric Fence,
+// chaos injections) cannot be honored on a clone and return an error
+// before any pooled part is touched, so the caller can retry via New
+// with the same parts.
+func (s *Snapshot) NewMachine(opts ...Option) (*Machine, error) {
+	m := &Machine{
+		prog:      s.prog,
+		mode:      s.mode,
+		stepLimit: s.stepLimit,
+		heap:      s.heap,
+		noGate:    s.noGate,
+		tier2:     s.tier2,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.pages != nil || m.efence || m.ldtAudit || m.ldtReserve > 0 ||
+		m.chaosTransient || m.chaosCorruptDesc || m.chaosCorruptShadow ||
+		m.pokeData != nil || m.unmapSet {
+		return nil, fmt.Errorf("vm: option requires New, not a snapshot clone")
+	}
+	m.plain = m.pages == nil && m.trace == nil
+	if m.tier2 {
+		m.sbt = s.prog.superblocks()
+	}
+	if m.reuse.Mem != nil && m.reuse.MMU != nil && m.reuse.LDT != nil &&
+		m.reuse.Mem.Geometry() == s.geo {
+		// Restore below rewrites exactly the state Reset would clear, so
+		// recycled parts skip the reset pass entirely.
+		m.memory, m.mmu, m.ldtMgr = m.reuse.Mem, m.reuse.MMU, m.reuse.LDT
+	} else {
+		m.memory = mem.NewDense(s.geo.LoSize, s.geo.HiBase, s.geo.HiSize)
+		m.mmu = x86seg.NewMMU()
+		m.ldtMgr = ldt.NewManager(m.mmu.LDT())
+	}
+	if !s.mem.RestoreInto(m.memory) {
+		return nil, fmt.Errorf("vm: snapshot memory geometry mismatch")
+	}
+	s.mmu.RestoreInto(m.mmu)
+	s.ldt.RestoreInto(m.ldtMgr, m.mmu.LDT())
+	m.ldtMgr.SetTrace(m.etrace)
+	m.regs = s.regs
+	m.ip = s.ip
+	m.cloned = true
+	mSnapClones.Inc()
+	return m, nil
+}

@@ -1,0 +1,209 @@
+package vm
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"cash/internal/obs"
+)
+
+// snapProg builds a program that exercises the state a snapshot must
+// carry faithfully: the call gate, an LDT allocation, the data image,
+// heap writes, and a summing loop over both.
+func snapProg(t *testing.T) *Program {
+	t.Helper()
+	p := buildProg(t, func(b *Builder) {
+		b.Op(MOV, R(EAX), I(SysSetLDTCallGate))
+		b.Emit(Instr{Op: INT, Src: I(0x80)})
+		b.Op(MOV, R(EAX), I(64))
+		b.Emit(Instr{Op: HCALL, Src: I(HostMalloc)})
+		b.Op(MOV, R(EBX), R(EAX))
+		b.Op(MOV, ds(EBX, 0), I(41))  // heap write
+		b.Op(MOV, R(ECX), I(0x1000))  // data base
+		b.Op(MOV, R(EAX), ds(ECX, 0)) // from the data image
+		b.Op(ADD, R(EAX), ds(EBX, 0)) // plus the heap cell
+		b.Emit(Instr{Op: HCALL, Src: I(HostPrintInt)})
+		b.Emit(Instr{Op: HLT})
+	})
+	p.Data = []byte{1, 0, 0, 0}
+	return p
+}
+
+// TestSnapshotCloneEquivalence pins the snapshot contract at the vm
+// layer: a machine cloned from a snapshot runs byte-identically to a
+// freshly built machine, in both checking modes, and the snapshot
+// survives its clones unchanged — the Nth clone equals the first.
+func TestSnapshotCloneEquivalence(t *testing.T) {
+	for _, mode := range []Mode{ModeGCC, ModeCash} {
+		fresh := mustRun(t, snapProg(t), mode)
+
+		src, err := New(snapProg(t), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := src.Snapshot()
+		if err != nil {
+			t.Fatalf("[%v] snapshot: %v", mode, err)
+		}
+		for i := 0; i < 3; i++ {
+			clone, err := snap.NewMachine()
+			if err != nil {
+				t.Fatalf("[%v] clone %d: %v", mode, i, err)
+			}
+			res, err := clone.Run()
+			if err != nil {
+				t.Fatalf("[%v] clone %d run: %v", mode, i, err)
+			}
+			if !reflect.DeepEqual(fresh, res) {
+				t.Fatalf("[%v] clone %d differs from fresh run:\n%+v\nvs\n%+v",
+					mode, i, fresh, res)
+			}
+		}
+	}
+}
+
+// TestSnapshotCloneWithRecycledParts pins that restoring a snapshot
+// into pooled parts dirtied by a previous tenant leaves no stale state:
+// the clone still runs byte-identically to a fresh machine.
+func TestSnapshotCloneWithRecycledParts(t *testing.T) {
+	for _, mode := range []Mode{ModeGCC, ModeCash} {
+		// The writer dirties data memory, the heap, and (in cash mode)
+		// the LDT before donating its parts.
+		writer, err := New(snapProg(t), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := writer.Run(); err != nil {
+			t.Fatalf("[%v] writer: %v", mode, err)
+		}
+
+		fresh := mustRun(t, snapProg(t), mode)
+		src, err := New(snapProg(t), mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := src.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone, err := snap.NewMachine(WithParts(writer.Parts()))
+		if err != nil {
+			t.Fatalf("[%v] clone on parts: %v", mode, err)
+		}
+		res, err := clone.Run()
+		if err != nil {
+			t.Fatalf("[%v] clone run: %v", mode, err)
+		}
+		if !reflect.DeepEqual(fresh, res) {
+			t.Fatalf("[%v] recycled clone differs from fresh run:\n%+v\nvs\n%+v",
+				mode, fresh, res)
+		}
+	}
+}
+
+// TestSnapshotConcurrentClones exercises snapshot immutability under
+// concurrent cloning (meaningful under -race): many goroutines clone
+// and run simultaneously, and every result equals a fresh build's.
+func TestSnapshotConcurrentClones(t *testing.T) {
+	fresh := mustRun(t, snapProg(t), ModeCash)
+	src, err := New(snapProg(t), ModeCash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				clone, err := snap.NewMachine()
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := clone.Run()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(fresh, res) {
+					t.Errorf("concurrent clone differs from fresh run")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRefusals pins which machines refuse to snapshot: anything
+// whose state a clone could not reproduce faithfully.
+func TestSnapshotRefusals(t *testing.T) {
+	mk := func(opts ...Option) *Machine {
+		m, err := New(snapProg(t), ModeCash, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		m    func() *Machine
+	}{
+		{"already ran", func() *Machine {
+			m := mk()
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+		{"paging", func() *Machine { return mk(WithPaging(4 << 20)) }},
+		{"event trace", func() *Machine { return mk(WithEventTrace(obs.NewTrace(8))) }},
+		{"ldt audit", func() *Machine { return mk(WithLDTAudit()) }},
+		{"chaos poke", func() *Machine { return mk(WithPoke(0x1000, []byte{1})) }},
+	}
+	for _, tc := range cases {
+		if _, err := tc.m().Snapshot(); err == nil {
+			t.Errorf("%s: Snapshot() succeeded, want refusal", tc.name)
+		}
+	}
+}
+
+// TestSnapshotCloneRejectsConstructionOptions pins that options shaping
+// machine construction fail cleanly on a clone — before any pooled part
+// is touched — and that the snapshot stays usable afterwards.
+func TestSnapshotCloneRejectsConstructionOptions(t *testing.T) {
+	src, err := New(snapProg(t), ModeCash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []Option{
+		WithPaging(4 << 20), WithElectricFence(), WithLDTAudit(),
+		WithDescriptorCorruption(), WithPoke(0x1000, []byte{1}),
+	} {
+		if _, err := snap.NewMachine(opt); err == nil {
+			t.Fatal("clone with construction-shaping option succeeded, want error")
+		}
+	}
+	clone, err := snap.NewMachine()
+	if err != nil {
+		t.Fatalf("snapshot unusable after rejected clones: %v", err)
+	}
+	if _, err := clone.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

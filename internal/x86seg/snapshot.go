@@ -1,0 +1,57 @@
+package x86seg
+
+// tableImage is a frozen copy of a DescriptorTable's contents up to its
+// high-water mark — the only slots that can differ from a fresh table.
+type tableImage struct {
+	entries []Descriptor
+	valid   []bool
+	limit   int
+}
+
+func captureTable(t *DescriptorTable) tableImage {
+	return tableImage{
+		entries: append([]Descriptor(nil), t.entries[:t.maxSet]...),
+		valid:   append([]bool(nil), t.valid[:t.maxSet]...),
+		limit:   t.limit,
+	}
+}
+
+// restoreInto rewrites t to exactly the captured state; t may hold
+// arbitrary prior contents (Reset bounds the clearing to t's own
+// high-water mark).
+func (img tableImage) restoreInto(t *DescriptorTable) {
+	t.Reset()
+	copy(t.entries[:], img.entries)
+	copy(t.valid[:], img.valid)
+	t.maxSet = len(img.entries)
+	t.limit = img.limit
+}
+
+// MMUImage is a frozen copy of an MMU's architectural state: both
+// descriptor tables and all six segment registers (visible selectors
+// and hidden descriptor caches, including the precomputed fast-path
+// thresholds). Captured once, restorable into any MMU.
+type MMUImage struct {
+	gdt  tableImage
+	ldt  tableImage
+	regs [NumSegRegs]segRegister
+}
+
+// Capture freezes the MMU's current state.
+func (m *MMU) Capture() *MMUImage {
+	return &MMUImage{
+		gdt:  captureTable(m.gdt),
+		ldt:  captureTable(m.ldt),
+		regs: m.regs,
+	}
+}
+
+// RestoreInto returns m to exactly the captured state, in place. The
+// generation counter advances (never rewinds), invalidating any state
+// callers cached against the old generation.
+func (img *MMUImage) RestoreInto(m *MMU) {
+	img.gdt.restoreInto(m.gdt)
+	img.ldt.restoreInto(m.ldt)
+	m.regs = img.regs
+	m.gen++
+}
